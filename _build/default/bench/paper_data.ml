@@ -1,0 +1,122 @@
+(* The paper's reported numbers (Pomeranz & Reddy, DATE 2003, Tables 5-7),
+   embedded for side-by-side "paper vs measured" reporting.  [cyc26 = None]
+   renders as NA, as in the paper. *)
+
+type t5 = {
+  name : string;
+  inp : int;
+  stvr : int;
+  faults : int;
+  detected : int;
+  fcov : float;
+  funct : int;
+}
+
+type t6 = {
+  name : string;
+  test_total : int;
+  test_scan : int;
+  restor_total : int;
+  restor_scan : int;
+  omit_total : int;
+  omit_scan : int;
+  ext_det : int;
+  cyc26 : int option;
+}
+
+type t7 = {
+  name : string;
+  test_total : int;
+  test_scan : int;
+  restor_total : int;
+  restor_scan : int;
+  omit_total : int;
+  omit_scan : int;
+  cyc26 : int;
+}
+
+let table5 =
+  [
+    { name = "s208"; inp = 13; stvr = 8; faults = 267; detected = 266; fcov = 99.63; funct = 0 };
+    { name = "s298"; inp = 5; stvr = 14; faults = 398; detected = 398; fcov = 100.0; funct = 3 };
+    { name = "s344"; inp = 11; stvr = 15; faults = 452; detected = 452; fcov = 100.0; funct = 0 };
+    { name = "s382"; inp = 5; stvr = 21; faults = 541; detected = 535; fcov = 98.89; funct = 6 };
+    { name = "s386"; inp = 9; stvr = 6; faults = 424; detected = 424; fcov = 100.0; funct = 0 };
+    { name = "s400"; inp = 5; stvr = 21; faults = 566; detected = 555; fcov = 98.06; funct = 6 };
+    { name = "s420"; inp = 21; stvr = 16; faults = 530; detected = 523; fcov = 98.68; funct = 3 };
+    { name = "s444"; inp = 5; stvr = 21; faults = 616; detected = 598; fcov = 97.08; funct = 12 };
+    { name = "s510"; inp = 21; stvr = 6; faults = 604; detected = 603; fcov = 99.83; funct = 0 };
+    { name = "s526"; inp = 5; stvr = 21; faults = 687; detected = 673; fcov = 97.96; funct = 20 };
+    { name = "s641"; inp = 37; stvr = 19; faults = 623; detected = 619; fcov = 99.36; funct = 0 };
+    { name = "s820"; inp = 20; stvr = 5; faults = 884; detected = 868; fcov = 98.19; funct = 0 };
+    { name = "s953"; inp = 18; stvr = 29; faults = 1299; detected = 1298; fcov = 99.92; funct = 30 };
+    { name = "s1196"; inp = 16; stvr = 18; faults = 1374; detected = 1368; fcov = 99.56; funct = 5 };
+    { name = "s1423"; inp = 19; stvr = 74; faults = 1987; detected = 1947; fcov = 97.99; funct = 34 };
+    { name = "s1488"; inp = 10; stvr = 6; faults = 1526; detected = 1525; fcov = 99.93; funct = 0 };
+    { name = "s5378"; inp = 37; stvr = 179; faults = 5797; detected = 5381; fcov = 92.82; funct = 42 };
+    { name = "s35932"; inp = 37; stvr = 1728; faults = 49466; detected = 42847; fcov = 86.62; funct = 3 };
+    { name = "b01"; inp = 5; stvr = 5; faults = 169; detected = 169; fcov = 100.0; funct = 0 };
+    { name = "b02"; inp = 4; stvr = 4; faults = 96; detected = 96; fcov = 100.0; funct = 0 };
+    { name = "b03"; inp = 7; stvr = 30; faults = 636; detected = 633; fcov = 99.53; funct = 35 };
+    { name = "b04"; inp = 14; stvr = 66; faults = 1746; detected = 1743; fcov = 99.83; funct = 28 };
+    { name = "b06"; inp = 5; stvr = 9; faults = 268; detected = 268; fcov = 100.0; funct = 0 };
+    { name = "b09"; inp = 4; stvr = 28; faults = 592; detected = 587; fcov = 99.16; funct = 35 };
+    { name = "b10"; inp = 14; stvr = 17; faults = 618; detected = 617; fcov = 99.84; funct = 6 };
+    { name = "b11"; inp = 10; stvr = 30; faults = 1273; detected = 1254; fcov = 98.51; funct = 22 };
+  ]
+
+let table6 =
+  [
+    { name = "s208"; test_total = 194; test_scan = 128; restor_total = 155; restor_scan = 105; omit_total = 140; omit_scan = 94; ext_det = 0; cyc26 = None };
+    { name = "s298"; test_total = 215; test_scan = 90; restor_total = 177; restor_scan = 63; omit_total = 161; omit_scan = 55; ext_det = 0; cyc26 = Some 218 };
+    { name = "s344"; test_total = 161; test_scan = 89; restor_total = 105; restor_scan = 56; omit_total = 85; omit_scan = 48; ext_det = 0; cyc26 = Some 98 };
+    { name = "s382"; test_total = 811; test_scan = 149; restor_total = 551; restor_scan = 118; omit_total = 378; omit_scan = 89; ext_det = 3; cyc26 = Some 619 };
+    { name = "s386"; test_total = 324; test_scan = 157; restor_total = 247; restor_scan = 121; omit_total = 216; omit_scan = 108; ext_det = 0; cyc26 = None };
+    { name = "s400"; test_total = 766; test_scan = 154; restor_total = 561; restor_scan = 119; omit_total = 396; omit_scan = 102; ext_det = 2; cyc26 = Some 587 };
+    { name = "s420"; test_total = 1353; test_scan = 1238; restor_total = 550; restor_scan = 479; omit_total = 408; omit_scan = 363; ext_det = 0; cyc26 = None };
+    { name = "s444"; test_total = 750; test_scan = 286; restor_total = 480; restor_scan = 185; omit_total = 450; omit_scan = 175; ext_det = 2; cyc26 = None };
+    { name = "s510"; test_total = 278; test_scan = 159; restor_total = 237; restor_scan = 128; omit_total = 210; omit_scan = 123; ext_det = 0; cyc26 = None };
+    { name = "s526"; test_total = 1727; test_scan = 703; restor_total = 969; restor_scan = 414; omit_total = 726; omit_scan = 316; ext_det = 2; cyc26 = Some 1091 };
+    { name = "s641"; test_total = 605; test_scan = 451; restor_total = 255; restor_scan = 179; omit_total = 239; omit_scan = 173; ext_det = 0; cyc26 = Some 302 };
+    { name = "s820"; test_total = 550; test_scan = 283; restor_total = 443; restor_scan = 229; omit_total = 347; omit_scan = 183; ext_det = 4; cyc26 = Some 367 };
+    { name = "s953"; test_total = 1029; test_scan = 826; restor_total = 448; restor_scan = 289; omit_total = 329; omit_scan = 210; ext_det = 0; cyc26 = None };
+    { name = "s1196"; test_total = 928; test_scan = 613; restor_total = 295; restor_scan = 179; omit_total = 262; omit_scan = 155; ext_det = 0; cyc26 = None };
+    { name = "s1423"; test_total = 3148; test_scan = 2360; restor_total = 1229; restor_scan = 1011; omit_total = 1127; omit_scan = 953; ext_det = 6; cyc26 = Some 1816 };
+    { name = "s1488"; test_total = 548; test_scan = 280; restor_total = 470; restor_scan = 235; omit_total = 416; omit_scan = 211; ext_det = 0; cyc26 = Some 416 };
+    { name = "s5378"; test_total = 5381; test_scan = 4594; restor_total = 2858; restor_scan = 2601; omit_total = 2721; omit_scan = 2487; ext_det = 57; cyc26 = Some 18585 };
+    { name = "s35932"; test_total = 634; test_scan = 518; restor_total = 634; restor_scan = 518; omit_total = 634; omit_scan = 518; ext_det = 0; cyc26 = Some 3561 };
+    { name = "b01"; test_total = 192; test_scan = 79; restor_total = 123; restor_scan = 49; omit_total = 89; omit_scan = 37; ext_det = 0; cyc26 = Some 61 };
+    { name = "b02"; test_total = 110; test_scan = 37; restor_total = 73; restor_scan = 24; omit_total = 52; omit_scan = 17; ext_det = 0; cyc26 = Some 35 };
+    { name = "b03"; test_total = 1311; test_scan = 1152; restor_total = 405; restor_scan = 336; omit_total = 347; omit_scan = 288; ext_det = 0; cyc26 = Some 588 };
+    { name = "b04"; test_total = 1770; test_scan = 1465; restor_total = 860; restor_scan = 671; omit_total = 715; omit_scan = 606; ext_det = 0; cyc26 = Some 1066 };
+    { name = "b06"; test_total = 140; test_scan = 41; restor_total = 110; restor_scan = 34; omit_total = 72; omit_scan = 28; ext_det = 0; cyc26 = Some 64 };
+    { name = "b09"; test_total = 2026; test_scan = 1842; restor_total = 789; restor_scan = 699; omit_total = 716; omit_scan = 635; ext_det = 0; cyc26 = Some 573 };
+    { name = "b10"; test_total = 959; test_scan = 741; restor_total = 378; restor_scan = 272; omit_total = 330; omit_scan = 252; ext_det = 0; cyc26 = Some 427 };
+    { name = "b11"; test_total = 1797; test_scan = 1337; restor_total = 1047; restor_scan = 758; omit_total = 789; omit_scan = 584; ext_det = 1; cyc26 = Some 986 };
+  ]
+
+let table7 =
+  [
+    { name = "s298"; test_total = 218; test_scan = 140; restor_total = 190; restor_scan = 112; omit_total = 172; omit_scan = 101; cyc26 = 218 };
+    { name = "s344"; test_total = 98; test_scan = 60; restor_total = 65; restor_scan = 28; omit_total = 65; omit_scan = 28; cyc26 = 98 };
+    { name = "s382"; test_total = 619; test_scan = 231; restor_total = 534; restor_scan = 147; omit_total = 483; omit_scan = 125; cyc26 = 619 };
+    { name = "s400"; test_total = 587; test_scan = 231; restor_total = 455; restor_scan = 173; omit_total = 364; omit_scan = 148; cyc26 = 587 };
+    { name = "s526"; test_total = 1091; test_scan = 546; restor_total = 870; restor_scan = 446; omit_total = 798; omit_scan = 387; cyc26 = 1091 };
+    { name = "s641"; test_total = 302; test_scan = 209; restor_total = 240; restor_scan = 161; omit_total = 190; omit_scan = 137; cyc26 = 302 };
+    { name = "s820"; test_total = 367; test_scan = 90; restor_total = 350; restor_scan = 85; omit_total = 327; omit_scan = 78; cyc26 = 367 };
+    { name = "s1423"; test_total = 1816; test_scan = 888; restor_total = 1402; restor_scan = 800; omit_total = 1318; omit_scan = 775; cyc26 = 1816 };
+    { name = "s1488"; test_total = 416; test_scan = 120; restor_total = 385; restor_scan = 105; omit_total = 359; omit_scan = 97; cyc26 = 416 };
+    { name = "s5378"; test_total = 18585; test_scan = 17900; restor_total = 11959; restor_scan = 11832; omit_total = 11626; omit_scan = 11501; cyc26 = 18585 };
+    { name = "b01"; test_total = 61; test_scan = 10; restor_total = 56; restor_scan = 9; omit_total = 56; omit_scan = 9; cyc26 = 61 };
+    { name = "b02"; test_total = 35; test_scan = 12; restor_total = 34; restor_scan = 11; omit_total = 33; omit_scan = 10; cyc26 = 35 };
+    { name = "b03"; test_total = 588; test_scan = 480; restor_total = 421; restor_scan = 345; omit_total = 366; omit_scan = 307; cyc26 = 588 };
+    { name = "b04"; test_total = 1066; test_scan = 924; restor_total = 708; restor_scan = 570; omit_total = 671; omit_scan = 540; cyc26 = 1066 };
+    { name = "b06"; test_total = 64; test_scan = 36; restor_total = 62; restor_scan = 34; omit_total = 60; omit_scan = 33; cyc26 = 64 };
+    { name = "b09"; test_total = 573; test_scan = 364; restor_total = 438; restor_scan = 242; omit_total = 405; omit_scan = 211; cyc26 = 573 };
+    { name = "b10"; test_total = 427; test_scan = 306; restor_total = 346; restor_scan = 226; omit_total = 323; omit_scan = 204; cyc26 = 427 };
+    { name = "b11"; test_total = 986; test_scan = 480; restor_total = 681; restor_scan = 354; omit_total = 662; omit_scan = 339; cyc26 = 986 };
+  ]
+
+let find5 name = List.find_opt (fun (r : t5) -> r.name = name) table5
+let find6 name = List.find_opt (fun (r : t6) -> r.name = name) table6
+let find7 name = List.find_opt (fun (r : t7) -> r.name = name) table7

@@ -1,0 +1,269 @@
+(* scanatpg — command-line front-end.
+
+   Subcommands:
+     info       structural summary and fault statistics of a circuit
+     export     write a catalog circuit as a .bench file
+     generate   run the unified flow (Section 2), optionally compact,
+                write the sequence to a file
+     compact    compact an existing sequence file
+     table      regenerate the paper's Table 5/6/7 rows for chosen circuits
+
+   Circuits are named from the built-in catalog ("s27", "s298", ..., "b11")
+   or given as a path to a .bench file. *)
+
+open Cmdliner
+
+let load_circuit ?(scale = Circuits.Profiles.Quick) spec =
+  if Sys.file_exists spec && Filename.check_suffix spec ".bench" then
+    Netlist.Bench_format.parse_file spec
+  else Circuits.Catalog.circuit ~scale spec
+
+(* ---------------------------------------------------------------- args *)
+
+let circuit_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"CIRCUIT" ~doc:"Catalog name (e.g. s298) or .bench file path.")
+
+let scale_arg =
+  let conv_scale =
+    Arg.enum [ ("quick", Circuits.Profiles.Quick); ("full", Circuits.Profiles.Full) ]
+  in
+  Arg.(
+    value & opt conv_scale Circuits.Profiles.Quick
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:"Synthetic benchmark scale: $(b,quick) or $(b,full).")
+
+let seed_arg =
+  Arg.(
+    value & opt int64 0x00C0FFEE5EEDL
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Root seed for all random streams.")
+
+let chains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "chains" ] ~docv:"N" ~doc:"Number of scan chains to insert.")
+
+let out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the result to $(docv).")
+
+(* ------------------------------------------------------------- helpers *)
+
+let write_sequence path seq =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Array.iter
+        (fun v -> output_string oc (Logicsim.Vectors.to_string v ^ "\n"))
+        seq)
+
+let read_sequence path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let acc = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" then acc := Logicsim.Vectors.parse line :: !acc
+         done
+       with End_of_file -> ());
+      Array.of_list (List.rev !acc))
+
+let setup_scan ~chains ~seed circuit =
+  let scan = Scanins.Scan.insert ~chains circuit in
+  let model = Faultmodel.Model.build scan.Scanins.Scan.circuit in
+  let cfg =
+    { (Core.Config.for_circuit circuit) with Core.Config.chains; seed }
+  in
+  scan, model, cfg
+
+let compact_seq cfg model seq targets =
+  let restored = Compaction.Restoration.run model seq targets in
+  let targets_r =
+    Compaction.Target.compute model restored
+      ~fault_ids:targets.Compaction.Target.fault_ids
+  in
+  Compaction.Omission.run model restored targets_r cfg.Core.Config.omission
+
+(* ---------------------------------------------------------------- info *)
+
+let info_cmd =
+  let run spec scale =
+    let c = load_circuit ~scale spec in
+    Format.printf "%a@." Netlist.Circuit.pp_summary c;
+    Format.printf "%a@." Netlist.Stats.pp (Netlist.Stats.of_circuit c);
+    if Netlist.Circuit.dff_count c > 0 then begin
+      let scan = Scanins.Scan.insert c in
+      let model = Faultmodel.Model.build scan.Scanins.Scan.circuit in
+      Format.printf "scan version: %a@." Netlist.Circuit.pp_summary
+        scan.Scanins.Scan.circuit;
+      Format.printf "faults: %d collapsed (universe %d)@."
+        (Faultmodel.Model.fault_count model)
+        model.Faultmodel.Model.universe_size
+    end
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Show circuit structure and fault statistics.")
+    Term.(const run $ circuit_arg $ scale_arg)
+
+(* -------------------------------------------------------------- export *)
+
+let export_cmd =
+  let run spec scale out =
+    let c = load_circuit ~scale spec in
+    match out with
+    | Some path ->
+      Netlist.Bench_format.write_file path c;
+      Printf.printf "wrote %s\n" path
+    | None -> print_string (Netlist.Bench_format.to_string c)
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Write a catalog circuit in .bench format.")
+    Term.(const run $ circuit_arg $ scale_arg $ out_arg)
+
+(* ------------------------------------------------------------ generate *)
+
+let generate_cmd =
+  let no_compact =
+    Arg.(value & flag & info [ "no-compact" ] ~doc:"Skip static compaction.")
+  in
+  let tester_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "tester" ] ~docv:"FILE"
+          ~doc:"Also write a tester program (stimulus + expected responses).")
+  in
+  let run spec scale seed chains no_compact out tester =
+    let c = load_circuit ~scale spec in
+    let scan, model, cfg = setup_scan ~chains ~seed c in
+    let sk = Atpg.Scan_knowledge.create scan in
+    let flow = Core.Flow.generate cfg sk model in
+    Printf.printf
+      "coverage %.2f%% (%d/%d targeted, %d proven redundant excluded)\n"
+      (Core.Flow.coverage flow) flow.Core.Flow.detected flow.Core.Flow.targeted
+      flow.Core.Flow.pruned_redundant;
+    Printf.printf "  by random %d, by ATPG %d, by scan drain %d, by scan load %d\n"
+      flow.Core.Flow.by_random flow.Core.Flow.by_atpg flow.Core.Flow.by_drain
+      flow.Core.Flow.by_justify;
+    let seq = flow.Core.Flow.sequence in
+    Printf.printf "sequence: %d vectors (%d scan)\n" (Array.length seq)
+      (Core.Pipeline.scan_count scan seq);
+    let final =
+      if no_compact then seq
+      else begin
+        let compacted, _ = compact_seq cfg model seq flow.Core.Flow.targets in
+        Printf.printf "compacted: %d vectors (%d scan)\n" (Array.length compacted)
+          (Core.Pipeline.scan_count scan compacted);
+        compacted
+      end
+    in
+    Option.iter
+      (fun path ->
+        write_sequence path final;
+        Printf.printf "wrote %s\n" path)
+      out;
+    Option.iter
+      (fun path ->
+        let program = Core.Tester.build scan.Scanins.Scan.circuit final in
+        Core.Tester.write_file path program;
+        Printf.printf "wrote %s (%d cycles, %d observing)\n" path
+          (Array.length final)
+          (Core.Tester.observing_cycles program))
+      tester
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate (and compact) a unified test sequence for a circuit.")
+    Term.(
+      const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ no_compact
+      $ out_arg $ tester_arg)
+
+(* ------------------------------------------------------------- compact *)
+
+let compact_cmd =
+  let seq_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"SEQFILE" ~doc:"Sequence file (one 01x vector per line).")
+  in
+  let run spec scale seed chains seqfile out =
+    let c = load_circuit ~scale spec in
+    let scan, model, cfg = setup_scan ~chains ~seed c in
+    let seq = read_sequence seqfile in
+    let nf = Faultmodel.Model.fault_count model in
+    let targets =
+      Compaction.Target.compute model seq ~fault_ids:(Array.init nf Fun.id)
+    in
+    Printf.printf "sequence detects %d/%d faults\n" (Compaction.Target.count targets) nf;
+    let compacted, _ = compact_seq cfg model seq targets in
+    Printf.printf "%d -> %d vectors (scan %d -> %d)\n" (Array.length seq)
+      (Array.length compacted)
+      (Core.Pipeline.scan_count scan seq)
+      (Core.Pipeline.scan_count scan compacted);
+    Option.iter
+      (fun path ->
+        write_sequence path compacted;
+        Printf.printf "wrote %s\n" path)
+      out
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Statically compact a test sequence (restoration, then omission).")
+    Term.(
+      const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ seq_arg
+      $ out_arg)
+
+(* --------------------------------------------------------------- table *)
+
+let table_cmd =
+  let which_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("5", `T5); ("6", `T6); ("7", `T7) ])) None
+      & info [] ~docv:"TABLE" ~doc:"Which paper table: 5, 6 or 7.")
+  in
+  let circuits_arg =
+    Arg.(
+      value
+      & opt (list string) [ "s27"; "s298"; "s344"; "b01"; "b02" ]
+      & info [ "circuits" ] ~docv:"NAMES" ~doc:"Comma-separated circuit names.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of the text table.")
+  in
+  let run which names scale csv =
+    let results = List.map (fun n -> Core.Pipeline.run ~scale n) names in
+    let pick text_fn csv_fn rows = if csv then csv_fn rows else text_fn rows in
+    match which with
+    | `T5 ->
+      print_string
+        (pick Core.Report.table5 Core.Report.table5_csv
+           (List.map (fun r -> r.Core.Pipeline.row5) results))
+    | `T6 ->
+      print_string
+        (pick Core.Report.table6 Core.Report.table6_csv
+           (List.map (fun r -> r.Core.Pipeline.row6) results))
+    | `T7 ->
+      print_string
+        (pick Core.Report.table7 Core.Report.table7_csv
+           (List.filter_map (fun r -> r.Core.Pipeline.row7) results))
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Regenerate rows of the paper's Tables 5-7.")
+    Term.(const run $ which_arg $ circuits_arg $ scale_arg $ csv_arg)
+
+let () =
+  let doc =
+    "Test generation and compaction for scan circuits without the \
+     scan/functional distinction (Pomeranz & Reddy, DATE 2003)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "scanatpg" ~version:"1.0.0" ~doc)
+          [ info_cmd; export_cmd; generate_cmd; compact_cmd; table_cmd ]))

@@ -1,0 +1,1 @@
+examples/bench_file_flow.ml: Array Atpg Circuits Compaction Core Faultmodel Filename Format Netlist Printf Scanins

@@ -1,0 +1,1 @@
+examples/custom_circuit.ml: Array Atpg Compaction Core Faultmodel Format List Netlist Printf Scanins

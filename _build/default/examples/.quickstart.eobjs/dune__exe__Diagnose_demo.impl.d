@@ -1,0 +1,1 @@
+examples/diagnose_demo.ml: Array Atpg Circuits Core Faultmodel List Printf Prng Scanins

@@ -1,0 +1,1 @@
+examples/limited_scan_demo.ml: Array Atpg Circuits Compaction Core Faultmodel Hashtbl List Option Printf Scanins String

@@ -1,0 +1,1 @@
+examples/limited_scan_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Atpg Circuits Compaction Core Faultmodel List Netlist Printf Scanins

@@ -1,0 +1,1 @@
+examples/translate_flow.ml: Array Baseline Circuits Compaction Core Faultmodel Format List Logicsim Printf Prng Scanins Translation

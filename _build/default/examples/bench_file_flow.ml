@@ -1,0 +1,49 @@
+(* Working from .bench files: export a catalog circuit, parse it back, run
+   the unified flow on it, and write a tester program with expected
+   responses — the round trip a user with their own netlists would take. *)
+
+let () =
+  let dir = Filename.get_temp_dir_name () in
+  let bench_path = Filename.concat dir "scanatpg_demo.bench" in
+  let tester_path = Filename.concat dir "scanatpg_demo.tester" in
+
+  (* Export a synthetic benchmark as .bench text. *)
+  let original = Circuits.Catalog.circuit "b02" in
+  Netlist.Bench_format.write_file bench_path original;
+  Printf.printf "wrote %s:\n%s\n" bench_path
+    (Netlist.Bench_format.to_string original);
+
+  (* Parse it back; the circuit must be structurally identical. *)
+  let c = Netlist.Bench_format.parse_file bench_path in
+  assert (Netlist.Circuit.node_count c = Netlist.Circuit.node_count original);
+  Format.printf "parsed back: %a@." Netlist.Circuit.pp_summary c;
+
+  (* Full flow: scan insertion, generation, compaction. *)
+  let scan = Scanins.Scan.insert c in
+  let model = Faultmodel.Model.build scan.Scanins.Scan.circuit in
+  let sk = Atpg.Scan_knowledge.create scan in
+  let cfg = Core.Config.for_circuit c in
+  let flow = Core.Flow.generate cfg sk model in
+  let restored =
+    Compaction.Restoration.run model flow.Core.Flow.sequence flow.Core.Flow.targets
+  in
+  let targets =
+    Compaction.Target.compute model restored
+      ~fault_ids:flow.Core.Flow.targets.Compaction.Target.fault_ids
+  in
+  let compacted, _ =
+    Compaction.Omission.run model restored targets cfg.Core.Config.omission
+  in
+  Printf.printf "\ncoverage %.2f%%; %d -> %d cycles after compaction\n"
+    (Core.Flow.coverage flow)
+    (Array.length flow.Core.Flow.sequence)
+    (Array.length compacted);
+
+  (* Tester program: stimulus plus expected responses with X masks. *)
+  let program = Core.Tester.build scan.Scanins.Scan.circuit compacted in
+  Core.Tester.write_file tester_path program;
+  Printf.printf "\ntester program (%d cycles, %d observing) -> %s\n"
+    (Array.length compacted)
+    (Core.Tester.observing_cycles program)
+    tester_path;
+  print_string (Core.Tester.to_string program)

@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array Faultmodel Hashtbl List Logicsim Netlist Stack

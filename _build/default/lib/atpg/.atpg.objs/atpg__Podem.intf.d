@@ -1,0 +1,1 @@
+lib/atpg/podem.mli: Faultmodel Logicsim Netlist

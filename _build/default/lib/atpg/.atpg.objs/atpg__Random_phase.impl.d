@@ -1,0 +1,1 @@
+lib/atpg/random_phase.ml: Array Faultmodel List Logicsim Netlist Prng

@@ -1,0 +1,1 @@
+lib/atpg/random_phase.mli: Faultmodel Logicsim Prng

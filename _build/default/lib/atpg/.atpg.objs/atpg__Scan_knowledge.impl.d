@@ -1,0 +1,1 @@
+lib/atpg/scan_knowledge.ml: Array Hashtbl Logicsim Netlist Prng Scanins

@@ -1,0 +1,1 @@
+lib/atpg/scan_knowledge.mli: Logicsim Netlist Prng Scanins

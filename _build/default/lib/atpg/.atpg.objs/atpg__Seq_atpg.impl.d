@@ -1,0 +1,1 @@
+lib/atpg/seq_atpg.ml: Faultmodel Netlist Podem

@@ -1,0 +1,1 @@
+lib/atpg/seq_atpg.mli: Faultmodel Logicsim Netlist

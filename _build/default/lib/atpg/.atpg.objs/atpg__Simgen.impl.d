@@ -1,0 +1,1 @@
+lib/atpg/simgen.ml: Array Faultmodel List Logicsim Netlist Prng

@@ -1,0 +1,1 @@
+lib/atpg/simgen.mli: Faultmodel Logicsim Prng

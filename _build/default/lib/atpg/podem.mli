@@ -1,0 +1,59 @@
+(** PODEM over bounded time-frame expansion.
+
+    The engine unrolls the (elaborated) circuit for [depth] frames and runs
+    a two-machine (good / faulty) three-valued simulation as its implication
+    procedure; the fault is injected in every frame.  Decision variables are
+    the primary inputs of every frame and — in free-initial-state mode — the
+    frame-0 present-state variables.  Objectives alternate between fault
+    activation and D-frontier extension; backtrace walks X-valued paths,
+    crossing a flip-flop into the previous frame.
+
+    The result's [vectors] are trimmed at the first frame whose primary
+    outputs expose the fault; unassigned positions are [X] and may be filled
+    freely without losing the detection. *)
+
+type outcome =
+  | Detected of {
+      vectors : Logicsim.Vectors.t;  (** one vector per frame, may contain [X] *)
+      required_state : Netlist.Logic.t array option;
+      (** frame-0 state demanded by the test, only in free-initial-state
+          mode ([X] = don't-care) *)
+    }
+  | Latched of {
+      vectors : Logicsim.Vectors.t;
+      required_state : Netlist.Logic.t array option;
+      dff : int;  (** flip-flop index now holding the fault effect *)
+    }
+    (** only with [~observe_ffs:true]: the effect was latched into a
+        flip-flop after the last vector — a scan-out drain completes the
+        test (Section 2 of the paper) *)
+  | Aborted  (** backtrack budget exhausted *)
+  | Exhausted  (** search space exhausted at this depth — no test exists *)
+
+type start =
+  | From_state of {
+      good : Netlist.Logic.t array;
+      faulty : Netlist.Logic.t array;
+    }
+    (** continue a running test sequence: frame-0 state is fixed *)
+  | Free_state
+    (** scan-based mode: frame-0 state is controllable (decision variables)
+        and is reported as [required_state] *)
+
+(** [run model ~fault ~depth ~start ~backtrack_limit ?fixed_inputs ()]
+    attempts to detect [fault] (an index into [model.faults]) within [depth]
+    frames.  [fixed_inputs] pins chosen primary inputs (by input position)
+    to a constant in every frame — used by the baseline to hold
+    [scan_sel = 0].  With [observe_ffs] (default [false]) the search also
+    succeeds when the fault effect is latched into a flip-flop after the
+    last frame, reporting {!Latched}. *)
+val run :
+  Faultmodel.Model.t ->
+  fault:int ->
+  depth:int ->
+  start:start ->
+  backtrack_limit:int ->
+  ?fixed_inputs:(int * Netlist.Logic.t) list ->
+  ?observe_ffs:bool ->
+  unit ->
+  outcome

@@ -1,0 +1,27 @@
+(** Randomized detection phase.
+
+    Before deterministic ATPG, bursts of biased random vectors knock out the
+    easy faults cheaply.  Each burst is first evaluated on a probe session
+    forked from the running one; only bursts that detect at least one new
+    fault are kept, so the phase cannot bloat the sequence with useless
+    vectors.  The phase stops after [give_up] consecutive fruitless bursts
+    or once [max_vectors] accepted vectors. *)
+
+type config = {
+  burst : int;  (** vectors per burst *)
+  give_up : int;  (** consecutive fruitless bursts tolerated *)
+  max_vectors : int;
+  sel_one_percent : int;  (** probability (in %) that a vector shifts the chain *)
+}
+
+val default_config : config
+
+(** [run session model ~scan_sel_position ~rng cfg] extends [session] with
+    the accepted vectors and returns them. *)
+val run :
+  Logicsim.Faultsim.t ->
+  Faultmodel.Model.t ->
+  scan_sel_position:int ->
+  rng:Prng.Rng.t ->
+  config ->
+  Logicsim.Vectors.t

@@ -1,0 +1,76 @@
+module Circuit = Netlist.Circuit
+module Logic = Netlist.Logic
+module Scan = Scanins.Scan
+module Chain = Scanins.Chain
+
+type t = {
+  scan : Scan.t;
+  position : (int * int) array;  (* dff index -> chain, position *)
+  width : int;  (* inputs of C_scan *)
+}
+
+let create scan =
+  let c = scan.Scan.circuit in
+  let dffs = Circuit.dffs c in
+  let by_node = Hashtbl.create (Array.length dffs) in
+  Array.iter
+    (fun ch ->
+      Array.iteri
+        (fun pos ff -> Hashtbl.replace by_node ff (ch.Chain.index, pos))
+        ch.Chain.ffs)
+    scan.Scan.chains;
+  let position =
+    Array.map
+      (fun ff ->
+        match Hashtbl.find_opt by_node ff with
+        | Some cp -> cp
+        | None -> invalid_arg "Scan_knowledge.create: flip-flop not on a chain")
+      dffs
+  in
+  { scan; position; width = Circuit.input_count c }
+
+let scan t = t.scan
+let chain_position t ~dff = t.position.(dff)
+
+(* A vector with random primary inputs and [scan_sel = 1]. *)
+let shift_vector t rng =
+  let v = Logicsim.Vectors.random rng ~width:t.width in
+  v.(Scan.sel_position t.scan) <- Logic.One;
+  v
+
+let drain t ~rng ~dff =
+  let chain_idx, pos = t.position.(dff) in
+  let chain = t.scan.Scan.chains.(chain_idx) in
+  (* [shifts] cycles move the effect into the last flip-flop; one more frame
+     samples it on scan_out. *)
+  let n = Chain.shifts_to_observe chain ~position:pos + 1 in
+  Array.init n (fun _ -> shift_vector t rng)
+
+let load t ~rng ~state =
+  let nsv = Scan.nsv t.scan in
+  let vecs = Array.init nsv (fun _ -> shift_vector t rng) in
+  Array.iter
+    (fun ch ->
+      let l = Chain.length ch in
+      let inp_pos = Scan.inp_position t.scan ~chain:ch.Chain.index in
+      (* Feed the deepest position first; a chain shorter than [nsv] only
+         cares about its last [l] frames. *)
+      for i = 0 to l - 1 do
+        let frame = nsv - l + i in
+        let dff_node = ch.Chain.ffs.(l - 1 - i) in
+        let dff_idx =
+          let dffs = Circuit.dffs t.scan.Scan.circuit in
+          let rec find k =
+            if dffs.(k) = dff_node then k else find (k + 1)
+          in
+          find 0
+        in
+        let bit =
+          match state.(dff_idx) with
+          | Logic.X -> Logic.of_bool (Prng.Rng.bool rng)
+          | b -> b
+        in
+        vecs.(frame).(inp_pos) <- bit
+      done)
+    t.scan.Scan.chains;
+  vecs

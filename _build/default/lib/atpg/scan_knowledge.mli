@@ -1,0 +1,33 @@
+(** Functional-level knowledge of scan (Section 2 of the paper).
+
+    Two helpers around the generic sequential ATPG:
+
+    - {b drain}: when a fault effect is latched at chain position [p], a run
+      of [N - p] vectors with [scan_sel = 1] (N the chain length) shifts it
+      to [scan_out] where it is observed; remaining input bits are random.
+    - {b load}: an unjustifiable required state [s] can always be reached
+      with [N] vectors of [scan_sel = 1] feeding [s] into [scan_inp] deepest
+      position first.
+
+    Both produce vectors over the inputs of [C_scan] in their declared
+    order. *)
+
+type t
+
+(** [create scan] precomputes the flip-flop-index → (chain, position)
+    mapping.  Flip-flop indices refer to [Circuit.dffs scan.circuit] order,
+    which the simulators preserve. *)
+val create : Scanins.Scan.t -> t
+
+val scan : t -> Scanins.Scan.t
+
+(** [chain_position t ~dff] locates a flip-flop index on its chain. *)
+val chain_position : t -> dff:int -> int * int
+
+(** [drain t ~rng ~dff] builds the shift run that brings a fault effect
+    sitting in flip-flop [dff] to that chain's [scan_out]. *)
+val drain : t -> rng:Prng.Rng.t -> dff:int -> Logicsim.Vectors.t
+
+(** [load t ~rng ~state] builds the [nsv]-cycle load of [state] (indexed by
+    flip-flop index; [X] bits are fed random values). *)
+val load : t -> rng:Prng.Rng.t -> state:Netlist.Logic.t array -> Logicsim.Vectors.t

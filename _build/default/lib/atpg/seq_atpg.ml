@@ -1,0 +1,56 @@
+module Levelize = Netlist.Levelize
+module Model = Faultmodel.Model
+
+type config = {
+  depths : int list;
+  backtrack_limit : int;
+}
+
+let default_config = { depths = [ 1; 2; 3; 5; 8 ]; backtrack_limit = 120 }
+
+let config_for c =
+  let lv = Levelize.of_circuit c in
+  let deep = 8 + (lv.Levelize.depth / 8) in
+  { default_config with depths = [ 1; 2; 3; 5; deep ] }
+
+let search model cfg ~fault ~start ~observe_ffs ~fixed_inputs =
+  let rec go = function
+    | [] -> None
+    | depth :: rest ->
+      (match
+         Podem.run model ~fault ~depth ~start ~backtrack_limit:cfg.backtrack_limit
+           ~fixed_inputs ~observe_ffs ()
+       with
+       | Podem.Detected { vectors; required_state } -> Some (`Detected (vectors, required_state))
+       | Podem.Latched { vectors; required_state; dff } ->
+         Some (`Latched (vectors, required_state, dff))
+       | Podem.Aborted | Podem.Exhausted -> go rest)
+  in
+  go cfg.depths
+
+let detect model cfg ~fault ~good ~faulty =
+  match
+    search model cfg ~fault
+      ~start:(Podem.From_state { good; faulty })
+      ~observe_ffs:false ~fixed_inputs:[]
+  with
+  | Some (`Detected (vectors, _)) -> Some vectors
+  | Some (`Latched _) -> None
+  | None -> None
+
+let detect_latch model cfg ~fault ~good ~faulty =
+  match
+    search model cfg ~fault
+      ~start:(Podem.From_state { good; faulty })
+      ~observe_ffs:true ~fixed_inputs:[]
+  with
+  | Some (`Detected (vectors, _)) -> Some (`Detected vectors)
+  | Some (`Latched (vectors, _, dff)) -> Some (`Latched (vectors, dff))
+  | None -> None
+
+let detect_free model cfg ~fault ?(fixed_inputs = []) () =
+  match
+    search model cfg ~fault ~start:Podem.Free_state ~observe_ffs:false ~fixed_inputs
+  with
+  | Some (`Detected (vectors, Some state)) -> Some (state, vectors)
+  | Some (`Detected (_, None)) | Some (`Latched _) | None -> None

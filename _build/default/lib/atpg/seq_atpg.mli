@@ -1,0 +1,51 @@
+(** Sequential test generation driver.
+
+    Iterative-deepening front-end over {!Podem}: a fault is attempted at
+    each depth of [config.depths] in turn with a per-depth backtrack budget.
+    [detect] continues a running sequence from a known state; [detect_free]
+    is the scan-based ("second approach") mode with a controllable initial
+    state; [detect_latch] accepts latching the fault effect into a flip-flop
+    as success — the hook for the paper's Section-2 functional knowledge. *)
+
+type config = {
+  depths : int list;  (** frame counts tried in order, e.g. [\[1;2;3;5;8\]] *)
+  backtrack_limit : int;  (** per (fault, depth) PODEM budget *)
+}
+
+val default_config : config
+
+(** A config whose deepest attempt grows with the circuit ([2 + depth/8]
+    extra frames), for state machines needing longer justification runs. *)
+val config_for : Netlist.Circuit.t -> config
+
+(** [detect model cfg ~fault ~good ~faulty] searches for a subsequence
+    detecting [fault] at a primary output when started from the given
+    good/faulty machine states.  Vectors may contain [X]. *)
+val detect :
+  Faultmodel.Model.t ->
+  config ->
+  fault:int ->
+  good:Netlist.Logic.t array ->
+  faulty:Netlist.Logic.t array ->
+  Logicsim.Vectors.t option
+
+(** Like {!detect} but also succeeds when the fault effect gets latched into
+    a flip-flop; returns the flip-flop index alongside the vectors. *)
+val detect_latch :
+  Faultmodel.Model.t ->
+  config ->
+  fault:int ->
+  good:Netlist.Logic.t array ->
+  faulty:Netlist.Logic.t array ->
+  [ `Detected of Logicsim.Vectors.t | `Latched of Logicsim.Vectors.t * int ] option
+
+(** [detect_free model cfg ~fault ~fixed_inputs] searches with a free
+    initial state, returning the required state ([X] = don't-care) and the
+    vectors. *)
+val detect_free :
+  Faultmodel.Model.t ->
+  config ->
+  fault:int ->
+  ?fixed_inputs:(int * Netlist.Logic.t) list ->
+  unit ->
+  (Netlist.Logic.t array * Logicsim.Vectors.t) option

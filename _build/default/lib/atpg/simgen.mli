@@ -1,0 +1,33 @@
+(** Simulation-based test generation (greedy hill climbing).
+
+    The family of generators the paper's "second approach" references [6-9]
+    build on: no branch-and-bound search, only candidate vectors scored by
+    fault simulation.  Each step proposes a pool of candidate vectors —
+    biased-random ones and single-bit mutations of the previous winner —
+    and commits the one that detects the most faults, breaking ties by the
+    number of fault effects latched into flip-flops (progress towards a
+    future detection, measured word-parallel).  The walk stops after a run
+    of non-improving steps or at the vector budget.
+
+    This engine is deliberately orthogonal to {!Podem}: it needs no
+    structural analysis at all, and serves both as a coverage workhorse and
+    as an experimental point of comparison for the deterministic flow. *)
+
+type config = {
+  candidates : int;  (** pool size per step *)
+  stall_limit : int;  (** consecutive non-improving steps tolerated *)
+  max_vectors : int;
+  sel_one_percent : int;  (** probability (%) that a candidate shifts the chain *)
+}
+
+val default_config : config
+
+(** [extend session model ~scan_sel_position ~rng cfg] grows the running
+    session vector by vector and returns the committed vectors. *)
+val extend :
+  Logicsim.Faultsim.t ->
+  Faultmodel.Model.t ->
+  scan_sel_position:int ->
+  rng:Prng.Rng.t ->
+  config ->
+  Logicsim.Vectors.t

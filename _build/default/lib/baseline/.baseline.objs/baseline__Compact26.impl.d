@@ -1,0 +1,1 @@
+lib/baseline/compact26.ml: Array Detect Hashtbl List

@@ -1,0 +1,1 @@
+lib/baseline/compact26.mli: Faultmodel Scanins

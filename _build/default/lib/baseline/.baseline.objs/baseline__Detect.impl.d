@@ -1,0 +1,1 @@
+lib/baseline/detect.ml: Array Hashtbl List Logicsim Netlist Scanins

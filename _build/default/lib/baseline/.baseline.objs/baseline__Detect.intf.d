@@ -1,0 +1,1 @@
+lib/baseline/detect.mli: Faultmodel Scanins

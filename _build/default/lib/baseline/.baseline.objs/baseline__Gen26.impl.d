@@ -1,0 +1,1 @@
+lib/baseline/gen26.ml: Array Atpg Detect Faultmodel Fun Hashtbl List Logicsim Netlist Prng Scanins

@@ -1,0 +1,1 @@
+lib/baseline/gen26.mli: Atpg Faultmodel Scanins

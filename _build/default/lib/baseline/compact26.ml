@@ -1,0 +1,20 @@
+let run scan model ~fault_ids tests =
+  let detected = Hashtbl.create (Array.length fault_ids) in
+  let kept = ref [] in
+  List.iter
+    (fun t ->
+      let remaining =
+        Array.of_list
+          (List.filter
+             (fun fid -> not (Hashtbl.mem detected fid))
+             (Array.to_list fault_ids))
+      in
+      if Array.length remaining > 0 then begin
+        let hits = Detect.test scan model ~fault_ids:remaining t in
+        if Array.length hits > 0 then begin
+          Array.iter (fun fid -> Hashtbl.replace detected fid ()) hits;
+          kept := t :: !kept
+        end
+      end)
+    (List.rev tests);
+  !kept

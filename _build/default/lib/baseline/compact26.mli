@@ -1,0 +1,17 @@
+(** Static compaction of scan test sets: reverse-order test dropping.
+
+    Tests are examined in reverse generation order; a test is kept only if
+    it detects some target fault not detected by the tests already kept.
+    This is the standard test-set-level compaction available to "second
+    approach" flows — it can only drop whole tests (whole complete scan
+    operations), never shorten one, which is exactly the limitation the
+    paper's unified representation removes. *)
+
+(** [run scan model ~fault_ids tests] returns the kept tests in their
+    original relative order. *)
+val run :
+  Scanins.Scan.t ->
+  Faultmodel.Model.t ->
+  fault_ids:int array ->
+  Scanins.Scan_test.t list ->
+  Scanins.Scan_test.t list

@@ -1,0 +1,23 @@
+(** Detection semantics of classical scan-based tests.
+
+    A test [(SI, T)] loads [SI] through the chain (the load is assumed
+    fault-free, as in the classical combinational view), applies [T] with
+    [scan_sel = 0], observes the primary outputs during every cycle of [T],
+    and observes the final flip-flop state through the closing scan-out. *)
+
+(** [test scan model ~fault_ids t] returns the subset of [fault_ids]
+    detected by test [t]. *)
+val test :
+  Scanins.Scan.t ->
+  Faultmodel.Model.t ->
+  fault_ids:int array ->
+  Scanins.Scan_test.t ->
+  int array
+
+(** [set scan model ~fault_ids tests] folds {!test} over a whole set. *)
+val set :
+  Scanins.Scan.t ->
+  Faultmodel.Model.t ->
+  fault_ids:int array ->
+  Scanins.Scan_test.t list ->
+  int array

@@ -1,0 +1,79 @@
+module Circuit = Netlist.Circuit
+module Logic = Netlist.Logic
+module Scan = Scanins.Scan
+module Scan_test = Scanins.Scan_test
+module Model = Faultmodel.Model
+
+type result = {
+  tests : Scan_test.t list;
+  detected : int array;
+  undetected : int array;
+}
+
+let cycles scan tests = Scan_test.set_cycles ~nsv:(Scan.nsv scan) tests
+
+(* Restrict a C_scan vector to the original primary inputs. *)
+let narrow scan vectors =
+  Array.map
+    (fun v -> Array.sub v 0 scan.Scan.original_pi_count)
+    vectors
+
+let generate ?(extend = 6) ?(seed = 0x26BA5EL) scan model cfg =
+  let rng = Prng.Rng.of_string seed (Circuit.name model.Model.circuit) in
+  let nf = Model.fault_count model in
+  let all_ids = Array.init nf Fun.id in
+  let undet = Hashtbl.create nf in
+  Array.iter (fun fid -> Hashtbl.add undet fid ()) all_ids;
+  let remaining () =
+    Array.of_list
+      (List.filter (Hashtbl.mem undet) (Array.to_list all_ids))
+  in
+  let fixed = [ (Scan.sel_position scan, Logic.Zero) ] in
+  (* Free-state searches get full controllability from the scan-in; deep
+     unrolls add little and cost much. *)
+  let cfg =
+    let rec take n = function
+      | [] -> []
+      | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+    in
+    { cfg with Atpg.Seq_atpg.depths = take 3 cfg.Atpg.Seq_atpg.depths }
+  in
+  let tests = ref [] in
+  Array.iter
+    (fun fid ->
+      if Hashtbl.mem undet fid then begin
+        match Atpg.Seq_atpg.detect_free model cfg ~fault:fid ~fixed_inputs:fixed () with
+        | None -> ()
+        | Some (state, vectors) ->
+          let t =
+            { Scan_test.scan_in = state; vectors = narrow scan vectors }
+          in
+          let targets = remaining () in
+          let hits = Detect.test scan model ~fault_ids:targets t in
+          if Array.exists (fun h -> h = fid) hits then begin
+            (* Greedy functional extension: keep appending a random vector
+               while it buys extra detections. *)
+            let npi = scan.Scan.original_pi_count in
+            let rec grow t hits budget =
+              if budget = 0 then t, hits
+              else begin
+                let v = Logicsim.Vectors.random rng ~width:npi in
+                let t' =
+                  { t with Scan_test.vectors = Array.append t.Scan_test.vectors [| v |] }
+                in
+                let hits' = Detect.test scan model ~fault_ids:targets t' in
+                if Array.length hits' > Array.length hits then grow t' hits' (budget - 1)
+                else t, hits
+              end
+            in
+            let t, hits = grow t hits extend in
+            tests := t :: !tests;
+            Array.iter (fun h -> Hashtbl.remove undet h) hits
+          end
+      end)
+    all_ids;
+  let detected =
+    Array.of_list
+      (List.filter (fun fid -> not (Hashtbl.mem undet fid)) (Array.to_list all_ids))
+  in
+  { tests = List.rev !tests; detected; undetected = remaining () }

@@ -1,0 +1,35 @@
+(** Scan-based test generation in the style of the paper's comparator [26]
+    (the "second approach"): complete scan operations only, [scan_sel] held
+    at 0 during functional cycles, tests of the form [(SI, T)] with [T] one
+    or more primary-input vectors.
+
+    For each undetected fault, PODEM searches with a free initial state
+    (the scan-in gives full state controllability) over growing frame
+    counts; every generated test is then fault-simulated under classical
+    scan semantics ({!Detect}) to drop collaterally-detected faults.
+
+    This stands in for [26] — the published heuristics are unavailable, but
+    the family (complete scan operations, multi-vector [T]) is the property
+    the paper's comparison exercises; see DESIGN.md §3. *)
+
+type result = {
+  tests : Scanins.Scan_test.t list;  (** in generation order *)
+  detected : int array;  (** fault ids covered by [tests] *)
+  undetected : int array;
+}
+
+(** [generate ?extend ?seed scan model cfg] runs the generator.  After each
+    deterministic test is found, up to [extend] (default 6) random
+    primary-input vectors are greedily appended to its [T] while each grows
+    the test's detection count — the multi-vector functional sequences that
+    give the "second approach" its edge over one-vector-per-scan tests. *)
+val generate :
+  ?extend:int ->
+  ?seed:int64 ->
+  Scanins.Scan.t ->
+  Faultmodel.Model.t ->
+  Atpg.Seq_atpg.config ->
+  result
+
+(** Tester cycles of a test list under complete scan operations. *)
+val cycles : Scanins.Scan.t -> Scanins.Scan_test.t list -> int

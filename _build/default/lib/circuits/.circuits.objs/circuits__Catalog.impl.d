@@ -1,0 +1,1 @@
+lib/circuits/catalog.ml: Int64 Iscas List Profiles Synthetic

@@ -1,0 +1,1 @@
+lib/circuits/catalog.mli: Netlist Profiles

@@ -1,0 +1,1 @@
+lib/circuits/iscas.ml: Netlist

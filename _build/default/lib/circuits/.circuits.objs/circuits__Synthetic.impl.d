@@ -1,0 +1,1 @@
+lib/circuits/synthetic.ml: Array Hashtbl List Netlist Printf Prng Queue

@@ -1,0 +1,19 @@
+let root_seed = 0x5CA9A7961234ABCDL
+
+(* Per-circuit seed: the profile's salt selects a generation with low
+   structural fault redundancy (chosen by an offline sweep). *)
+let seed_of p =
+  Int64.add root_seed (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int p.Profiles.salt))
+
+let circuit ?(scale = Profiles.Quick) name =
+  if name = "s27" then Iscas.s27 ()
+  else begin
+    let p = Profiles.find_exn name in
+    Synthetic.generate ~name ~pis:p.Profiles.pis
+      ~ffs:(Profiles.ffs_at scale p)
+      ~gates:(Profiles.gates_at scale p)
+      ~seed:(seed_of p) ()
+  end
+
+let names = "s27" :: List.map (fun p -> p.Profiles.name) Profiles.all
+let is_synthetic name = name <> "s27"

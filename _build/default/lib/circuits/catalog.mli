@@ -1,0 +1,17 @@
+(** Benchmark catalog: maps circuit names to netlists.
+
+    [s27] resolves to the exact embedded ISCAS-89 netlist; every profiled
+    circuit resolves to its deterministic synthetic substitute at the chosen
+    scale. *)
+
+(** [circuit ?scale name] builds the benchmark circuit.  [scale] defaults to
+    [Profiles.Quick].
+    @raise Not_found for names that are neither ["s27"] nor profiled. *)
+val circuit : ?scale:Profiles.scale -> string -> Netlist.Circuit.t
+
+(** All catalog names, ["s27"] first, then profiles in table order. *)
+val names : string list
+
+(** Whether [name] uses a synthetic substitute rather than an exact
+    netlist. *)
+val is_synthetic : string -> bool

@@ -1,0 +1,10 @@
+(** Exact embedded benchmark netlists.
+
+    Only [s27] is small and ubiquitous enough to embed verbatim; every other
+    paper circuit is substituted by {!Synthetic} (see DESIGN.md §3). *)
+
+(** The ISCAS-89 [s27] circuit: 4 inputs, 1 output, 3 flip-flops, 10 gates. *)
+val s27 : unit -> Netlist.Circuit.t
+
+(** Raw [.bench] text of [s27]. *)
+val s27_bench : string

@@ -1,0 +1,75 @@
+type family =
+  | Iscas89
+  | Itc99
+
+type t = {
+  name : string;
+  family : family;
+  pis : int;
+  ffs : int;
+  gates : int;
+  quick_ffs : int;
+  quick_gates : int;
+  paper_faults : int;
+  salt : int;
+}
+
+type scale =
+  | Quick
+  | Full
+
+let mk ?quick ?(salt = 0) family name pis ffs gates paper_faults =
+  let quick_ffs, quick_gates =
+    match quick with
+    | Some (qf, qg) -> qf, qg
+    | None -> ffs, gates
+  in
+  { name; family; pis; ffs; gates; quick_ffs; quick_gates; paper_faults; salt }
+
+(* Gate budgets derive from the paper's fault counts at roughly 3.5 faults
+   per gate, matching the fault density of the real ISCAS circuits. *)
+let all =
+  [
+    mk ~salt:6 Iscas89 "s208" 11 8 76 267;
+    mk Iscas89 "s298" 3 14 114 398;
+    mk ~salt:9 Iscas89 "s344" 9 15 129 452;
+    mk ~salt:1 Iscas89 "s382" 3 21 155 541;
+    mk ~salt:4 Iscas89 "s386" 7 6 121 424;
+    mk ~salt:2 Iscas89 "s400" 3 21 162 566;
+    mk ~salt:4 Iscas89 "s420" 19 16 151 530;
+    mk ~salt:5 Iscas89 "s444" 3 21 176 616;
+    mk ~salt:5 Iscas89 "s510" 19 6 173 604;
+    mk ~salt:7 Iscas89 "s526" 3 21 196 687;
+    mk ~salt:3 Iscas89 "s641" 35 19 178 623;
+    mk ~salt:9 Iscas89 "s820" 18 5 253 884;
+    mk ~salt:6 Iscas89 "s953" 16 29 371 1299;
+    mk Iscas89 "s1196" 14 18 393 1374;
+    mk ~salt:9 Iscas89 "s1423" 17 74 568 1987;
+    mk ~salt:3 Iscas89 "s1488" 8 6 436 1526;
+    mk ~quick:(90, 700) Iscas89 "s5378" 35 179 1656 5797;
+    mk ~quick:(180, 1500) Iscas89 "s35932" 35 1728 14133 49466;
+    mk ~salt:8 Itc99 "b01" 3 5 48 169;
+    mk ~salt:8 Itc99 "b02" 2 4 27 96;
+    mk ~salt:5 Itc99 "b03" 5 30 182 636;
+    mk ~salt:7 Itc99 "b04" 12 66 499 1746;
+    mk ~salt:2 Itc99 "b06" 3 9 77 268;
+    mk ~salt:8 Itc99 "b09" 2 28 169 592;
+    mk ~salt:8 Itc99 "b10" 12 17 177 618;
+    mk ~salt:2 Itc99 "b11" 8 30 364 1273;
+  ]
+
+let table7_names =
+  [ "s298"; "s344"; "s382"; "s400"; "s526"; "s641"; "s820"; "s1423"; "s1488";
+    "s5378"; "b01"; "b02"; "b03"; "b04"; "b06"; "b09"; "b10"; "b11" ]
+
+let find_exn name = List.find (fun p -> p.name = name) all
+
+let ffs_at scale p =
+  match scale with
+  | Quick -> p.quick_ffs
+  | Full -> p.ffs
+
+let gates_at scale p =
+  match scale with
+  | Quick -> p.quick_gates
+  | Full -> p.gates

@@ -1,0 +1,43 @@
+(** Benchmark circuit profiles.
+
+    One profile per circuit evaluated in the paper, recording the interface
+    shape the paper reports in Table 5 (number of primary inputs excluding
+    the two scan inputs, number of state variables) plus the synthesis
+    parameters of our substitute (gate count, seed) and a reduced "quick"
+    shape for the largest circuits so that the whole table regenerates in
+    minutes (see DESIGN.md §3). *)
+
+type family =
+  | Iscas89  (** s-prefixed circuits *)
+  | Itc99  (** b-prefixed circuits *)
+
+type t = {
+  name : string;
+  family : family;
+  pis : int;  (** original primary inputs of [C] (paper's [inp] minus 2) *)
+  ffs : int;  (** state variables = scan chain length *)
+  gates : int;  (** synthetic gate budget at full scale *)
+  quick_ffs : int;  (** flip-flops at quick scale (= [ffs] for most) *)
+  quick_gates : int;
+  paper_faults : int;  (** fault universe size reported by the paper *)
+  salt : int;
+  (** seed offset chosen (offline) to minimize structural fault redundancy
+      of the synthetic substitute *)
+}
+
+type scale =
+  | Quick
+  | Full
+
+(** Profiles in the order of the paper's Table 5/6 (ISCAS-89 first, then
+    ITC-99). *)
+val all : t list
+
+(** Circuits appearing in the paper's Table 7 (translated test sets). *)
+val table7_names : string list
+
+(** @raise Not_found for an unknown circuit name. *)
+val find_exn : string -> t
+
+val ffs_at : scale -> t -> int
+val gates_at : scale -> t -> int

@@ -1,0 +1,1 @@
+lib/compaction/omission.ml: Array Faultmodel List Logicsim Option Target

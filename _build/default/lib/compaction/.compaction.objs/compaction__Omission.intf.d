@@ -1,0 +1,1 @@
+lib/compaction/omission.mli: Faultmodel Logicsim Target

@@ -1,0 +1,1 @@
+lib/compaction/restoration.ml: Array Faultmodel Fun List Logicsim Target

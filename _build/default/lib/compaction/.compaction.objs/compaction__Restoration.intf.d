@@ -1,0 +1,1 @@
+lib/compaction/restoration.mli: Faultmodel Logicsim Target

@@ -1,0 +1,1 @@
+lib/compaction/target.ml: Array Faultmodel List Logicsim

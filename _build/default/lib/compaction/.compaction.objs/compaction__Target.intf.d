@@ -1,0 +1,1 @@
+lib/compaction/target.mli: Faultmodel Logicsim

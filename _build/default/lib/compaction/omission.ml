@@ -1,0 +1,152 @@
+module Model = Faultmodel.Model
+module Faultsim = Logicsim.Faultsim
+
+type config = {
+  max_passes : int;
+  max_trials : int option;
+  window : int;
+  horizon : int;
+}
+
+let default_config =
+  { max_passes = 5; max_trials = None; window = 48; horizon = 128 }
+
+(* One left-to-right pass trying to omit [chunk] consecutive vectors per
+   trial.  [det] maps target index -> detection time in the current
+   sequence; updated in place on acceptance.  The main session holds every
+   target's state just before the trial position, so a trial only
+   re-simulates the faults whose detection could be affected — those
+   detected at or after the trial position — over the suffix.  Probing with
+   the faults sorted by detection time clusters each simulator word around
+   one region of the suffix, letting groups retire early. *)
+let one_pass model (targets : Target.t) config ~chunk seq det budget =
+  let n = Target.count targets in
+  let seq = ref seq in
+  let changed = ref false in
+  let i = ref 0 in
+  let session = ref (Faultsim.create model ~fault_ids:targets.Target.fault_ids) in
+  (* Verify a trial by simulating the suffix in chunks.  Each target must
+     re-detect within [horizon] frames of where it used to be detected;
+     failing that, the trial is rejected without simulating the remainder —
+     this bounds the cost of both rejections and (with the fault words
+     clustered by detection time) acceptances.  [base] is the absolute
+     position the suffix starts at in the trial sequence; [old_base] is the
+     old absolute position of the suffix's first vector. *)
+  let probe subset ~base ~old_base suffix =
+    let ids = Array.map (fun k -> targets.Target.fault_ids.(k)) subset in
+    let s =
+      Faultsim.create
+        ~good_state:(Faultsim.good_state !session)
+        ~faulty_states:(Faultsim.faulty_state !session)
+        model ~fault_ids:ids
+    in
+    let len = Array.length suffix in
+    let chunk = 64 in
+    let pos = ref 0 in
+    let ptr = ref 0 in
+    let ok = ref true in
+    while !ok && !pos < len && Faultsim.detected_count s < Array.length ids do
+      let n = min chunk (len - !pos) in
+      Faultsim.advance s (Array.sub suffix !pos n);
+      pos := !pos + n;
+      (* Every fault whose old detection lies >= horizon frames behind the
+         simulated front must have re-detected by now. *)
+      let threshold = old_base + !pos - config.horizon in
+      while
+        !ok && !ptr < Array.length subset
+        && det.(subset.(!ptr)) <= threshold
+      do
+        if Faultsim.detection_time s ids.(!ptr) = None then ok := false
+        else incr ptr
+      done
+    done;
+    if !ok && Faultsim.detected_count s = Array.length ids then
+      Some
+        (Array.map
+           (fun fid ->
+             match Faultsim.detection_time s fid with
+             | Some t -> base + t
+             | None -> assert false)
+           ids)
+    else None
+  in
+  let budget_left () =
+    match budget with
+    | Some b -> !b > 0
+    | None -> true
+  in
+  while !i < Array.length !seq && budget_left () do
+    let len = Array.length !seq in
+    let c = min chunk (len - !i) in
+    let subset = ref [] in
+    for k = n - 1 downto 0 do
+      if det.(k) >= !i then subset := k :: !subset
+    done;
+    let subset = Array.of_list !subset in
+    (* Faults detected soonest after [i] first: likeliest to break, and the
+       resulting word grouping clusters detection times. *)
+    Array.sort (fun a b -> compare det.(a) det.(b)) subset;
+    let suffix = Array.sub !seq (!i + c) (len - !i - c) in
+    let base = !i and old_base = !i + c in
+    let accept =
+      if Array.length subset = 0 then Some [||]
+      else begin
+        let quick =
+          if Array.length subset > 2 * config.window then begin
+            let w = Array.sub subset 0 config.window in
+            probe w ~base ~old_base suffix <> None
+          end
+          else true
+        in
+        if not quick then None else probe subset ~base ~old_base suffix
+      end
+    in
+    (match accept with
+     | Some new_times ->
+       changed := true;
+       seq := Array.append (Array.sub !seq 0 !i) suffix;
+       Array.iteri (fun j k -> det.(k) <- new_times.(j)) subset
+     | None ->
+       (* Keep the first vector of the window and retry from the next
+          position (a failed multi-vector chunk may still be partially
+          removable; the later chunk-1 pass handles the fine grain). *)
+       Faultsim.advance !session [| (!seq).(!i) |];
+       incr i);
+    (match budget with
+     | Some b -> decr b
+     | None -> ())
+  done;
+  !seq, !changed
+
+let run model seq (targets : Target.t) config =
+  let n = Target.count targets in
+  let det = Array.copy targets.Target.det_times in
+  let budget = Option.map ref config.max_trials in
+  let budget_left () =
+    match budget with
+    | Some b -> !b > 0
+    | None -> true
+  in
+  (* Coarse-to-fine schedule: large chunks remove whole useless regions in
+     one verification; the trailing single-vector passes polish until a
+     fixpoint or the pass budget. *)
+  let schedule =
+    let coarse = [ 16; 4 ] in
+    let fine = List.init (max 1 (config.max_passes - List.length coarse)) (fun _ -> 1) in
+    coarse @ fine
+  in
+  let seq = ref seq in
+  let continue_ = ref true in
+  List.iteri
+    (fun pass_idx chunk ->
+      if !continue_ && budget_left () then begin
+        let seq', changed = one_pass model targets config ~chunk !seq det budget in
+        seq := seq';
+        (* Stop early only once the fine passes make no progress. *)
+        if chunk = 1 && not changed then continue_ := false;
+        ignore pass_idx
+      end)
+    schedule;
+  ( !seq,
+    { Target.fault_ids = Array.copy targets.Target.fault_ids;
+      det_times = Array.init n (fun k -> det.(k)) } )

@@ -1,0 +1,34 @@
+(** Vector-omission static compaction ([22], DAC-96).
+
+    Every vector is tried for removal, left to right; a removal is accepted
+    when every target fault is still detected by the shortened sequence.
+    Passes repeat until a fixpoint (or the pass budget).  Like restoration,
+    the procedure sees scan shift cycles as ordinary vectors, so it shortens
+    scan operations wherever the fault coverage allows.
+
+    The implementation keeps a live fault-simulation session positioned just
+    before the trial vector, so each trial only re-simulates the faults
+    whose detection could be affected (those detected at or after the trial
+    position) over the suffix, with a small-window pre-check that rejects
+    most failing trials cheaply. *)
+
+type config = {
+  max_passes : int;  (** passes over the sequence (fixpoint cut-off) *)
+  max_trials : int option;  (** overall trial budget, [None] = unlimited *)
+  window : int;  (** size of the cheap pre-check fault window *)
+  horizon : int;
+  (** a trial is rejected unless every affected fault re-detects within
+      this many frames of its previous detection point — conservative, but
+      it bounds each trial's simulation cost *)
+}
+
+val default_config : config
+
+(** [run model seq targets config] returns the compacted sequence together
+    with the targets' detection times in it. *)
+val run :
+  Faultmodel.Model.t ->
+  Logicsim.Vectors.t ->
+  Target.t ->
+  config ->
+  Logicsim.Vectors.t * Target.t

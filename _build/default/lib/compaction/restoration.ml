@@ -1,0 +1,104 @@
+module Model = Faultmodel.Model
+module Faultsim = Logicsim.Faultsim
+
+(* Vectors of [seq] selected by [keep], optionally limited to positions
+   <= [limit]. *)
+let subsequence ?limit seq keep =
+  let hi =
+    match limit with
+    | Some l -> min l (Array.length seq - 1)
+    | None -> Array.length seq - 1
+  in
+  let acc = ref [] in
+  for i = hi downto 0 do
+    if keep.(i) then acc := seq.(i) :: !acc
+  done;
+  Array.of_list !acc
+
+(* Faults are processed in batches of one simulator word, in order of
+   decreasing detection time.  A batch is first simulated together over the
+   current restored subsequence (one group — this replaces per-fault
+   checks); each member still undetected then restores vectors backwards
+   from its original detection time, a small chunk at a time, until a
+   single-fault simulation over the restored prefix detects it.  Restoring
+   the entire prefix up to the detection time reproduces the original
+   simulation, which guarantees termination. *)
+let batch_width = 62
+let restore_chunk = 4
+
+let run model seq (targets : Target.t) =
+  let len = Array.length seq in
+  let n = Target.count targets in
+  let keep = Array.make len false in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      compare
+        (targets.Target.det_times.(b), targets.Target.fault_ids.(b))
+        (targets.Target.det_times.(a), targets.Target.fault_ids.(a)))
+    order;
+  let detected = Array.make n false in
+  let simulate_members ks =
+    (* One parallel run of the still-undetected members over the current
+       subsequence; marks detections. *)
+    let pending = List.filter (fun k -> not detected.(k)) ks in
+    if pending <> [] then begin
+      let ids =
+        Array.of_list (List.map (fun k -> targets.Target.fault_ids.(k)) pending)
+      in
+      let times = Faultsim.detection_times model ~fault_ids:ids (subsequence seq keep) in
+      List.iteri
+        (fun i k -> if times.(i) >= 0 then detected.(k) <- true)
+        pending
+    end
+  in
+  let restore_for k =
+    let fid = targets.Target.fault_ids.(k) in
+    let dt = targets.Target.det_times.(k) in
+    let q = ref dt in
+    let finished = ref false in
+    while not !finished do
+      (* Restore up to [restore_chunk] fresh vectors walking backwards. *)
+      let added = ref 0 in
+      while !added < restore_chunk && !q >= 0 do
+        if not keep.(!q) then begin
+          keep.(!q) <- true;
+          incr added
+        end;
+        decr q
+      done;
+      if !added = 0 then
+        (* The whole prefix [0..dt] is restored: the original simulation is
+           reproduced, so the fault is detected. *)
+        finished := true
+      else begin
+        match
+          Faultsim.detects_single model ~fault:fid (subsequence ~limit:dt seq keep)
+        with
+        | Some _ -> finished := true
+        | None -> ()
+      end
+    done;
+    detected.(k) <- true
+  in
+  let idx = ref 0 in
+  while !idx < n do
+    (* Collect the next batch of still-unprocessed faults. *)
+    let batch = ref [] in
+    while !idx < n && List.length !batch < batch_width do
+      let k = order.(!idx) in
+      if not detected.(k) then batch := k :: !batch;
+      incr idx
+    done;
+    let batch = List.rev !batch in
+    simulate_members batch;
+    List.iter
+      (fun k ->
+        if not detected.(k) then begin
+          restore_for k;
+          (* Fresh vectors typically detect other batch members too. *)
+          simulate_members batch
+        end)
+      batch
+  done;
+  subsequence seq keep

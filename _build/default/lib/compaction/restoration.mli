@@ -1,0 +1,16 @@
+(** Vector-restoration static compaction ([23], ICCD-97).
+
+    Starting from an empty selection, faults are processed in order of
+    decreasing first-detection time; whenever the restored subsequence does
+    not yet detect the current fault, vectors are restored one by one,
+    walking backwards from the fault's detection time, until it does.
+    Vectors never restored are dropped.  Because the procedure treats the
+    sequence as an ordinary non-scan test sequence, it freely drops
+    [scan_sel = 1] cycles — turning complete scan operations into limited
+    ones. *)
+
+(** [run model seq targets] returns the restored subsequence (original
+    vector order; a subset of [seq]'s vectors).  The result is guaranteed to
+    detect every target. *)
+val run :
+  Faultmodel.Model.t -> Logicsim.Vectors.t -> Target.t -> Logicsim.Vectors.t

@@ -1,0 +1,22 @@
+module Model = Faultmodel.Model
+module Faultsim = Logicsim.Faultsim
+
+type t = {
+  fault_ids : int array;
+  det_times : int array;
+}
+
+let compute model seq ~fault_ids =
+  let times = Faultsim.detection_times model ~fault_ids seq in
+  let kept = ref [] in
+  Array.iteri
+    (fun i fid -> if times.(i) >= 0 then kept := (fid, times.(i)) :: !kept)
+    fault_ids;
+  let kept = Array.of_list (List.rev !kept) in
+  { fault_ids = Array.map fst kept; det_times = Array.map snd kept }
+
+let count t = Array.length t.fault_ids
+
+let detected_by model seq t =
+  let times = Faultsim.detection_times model ~fault_ids:t.fault_ids seq in
+  Array.for_all (fun tm -> tm >= 0) times

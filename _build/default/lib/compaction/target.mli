@@ -1,0 +1,21 @@
+(** Compaction targets: the set of faults a sequence must keep detecting,
+    with their first-detection times.
+
+    Both static compaction procedures preserve exactly the detection of
+    these faults; any additional faults a compacted sequence happens to
+    detect are a bonus (the paper's "ext det" column). *)
+
+type t = {
+  fault_ids : int array;  (** detected faults, in fault-id order *)
+  det_times : int array;  (** aligned first-detection frame indices *)
+}
+
+(** [compute model seq ~fault_ids] simulates [seq] from power-up and keeps
+    the faults of [fault_ids] that it detects. *)
+val compute :
+  Faultmodel.Model.t -> Logicsim.Vectors.t -> fault_ids:int array -> t
+
+val count : t -> int
+
+(** [detected_by model seq t] — does [seq] still detect every target? *)
+val detected_by : Faultmodel.Model.t -> Logicsim.Vectors.t -> t -> bool

@@ -1,0 +1,1 @@
+lib/core/diagnose.ml: Array Faultmodel Fun List Logicsim Netlist Set

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Atpg Compaction Config Faultmodel Fun List Logicsim Netlist Prng Scanins Testability

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Atpg Compaction Config Faultmodel Logicsim

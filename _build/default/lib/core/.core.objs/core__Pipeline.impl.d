@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Atpg Baseline Circuits Compaction Config Faultmodel Flow Logicsim Netlist Prng Scanins Sys Translation

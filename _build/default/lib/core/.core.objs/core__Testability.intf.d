@@ -1,0 +1,1 @@
+lib/core/testability.mli: Faultmodel

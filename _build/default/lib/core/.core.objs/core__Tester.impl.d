@@ -1,0 +1,1 @@
+lib/core/tester.ml: Array Buffer Fun List Logicsim Netlist Printf String

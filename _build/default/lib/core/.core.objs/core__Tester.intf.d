@@ -1,0 +1,1 @@
+lib/core/tester.mli: Logicsim Netlist

@@ -1,0 +1,26 @@
+(** Configuration of the unified generation/compaction flow. *)
+
+type t = {
+  seed : int64;  (** root of every random stream used by the flow *)
+  atpg : Atpg.Seq_atpg.config;
+  random_phase : Atpg.Random_phase.config option;
+  (** [None] disables the randomized opening phase *)
+  use_drain : bool;
+  (** Section-2 functional knowledge: accept latching a fault effect into a
+      flip-flop and drain it to [scan_out] with a [scan_sel = 1] run *)
+  use_justify : bool;
+  (** scan-in justification: tests found with a free initial state get an
+      [N_SV]-cycle load prefix *)
+  prune_redundant : bool;
+  (** exclude faults proven combinationally untestable (full state control
+      and observation) from the target list — see DESIGN.md §3 *)
+  redundancy_budget : int;  (** PODEM backtracks allowed per proof *)
+  omission : Compaction.Omission.config;
+  chains : int;  (** scan chains inserted *)
+}
+
+val default : t
+
+(** Default tuned to the circuit: ATPG depths grow with the combinational
+    depth. *)
+val for_circuit : Netlist.Circuit.t -> t

@@ -1,0 +1,53 @@
+(** Cause-effect fault diagnosis.
+
+    Given a test sequence and the response observed on a failing device,
+    rank the modeled stuck-at faults by how well their simulated responses
+    explain the observation.  A candidate's {e failing positions} are the
+    (cycle, output) pairs where its simulated response differs from the
+    fault-free machine's binary expectation; these are compared against the
+    observed failing positions.
+
+    A candidate predicts a {e sure} failure where good and faulty values
+    are both binary and differ, and a {e potential} failure where the
+    faulty value is unknown (the device may fail there or not); potential
+    failures can explain an observation but are never demanded.
+
+    Ranking: candidates explaining the observation exactly come first, then
+    by fewest unexplained observed failures ([missed]), then by fewest
+    sure-but-not-observed failures ([extra]).  Ties keep fault-id order, so
+    results are deterministic. *)
+
+type candidate = {
+  fault : int;  (** index into the model's fault list *)
+  matched : int;  (** observed failing positions the fault predicts *)
+  missed : int;  (** observed failures the fault does not predict *)
+  extra : int;  (** predicted failures that were not observed *)
+}
+
+(** [response model ?fault seq] simulates the per-cycle primary-output
+    matrix from power-up — the fault-free machine when [fault] is [None],
+    the faulty machine otherwise. *)
+val response :
+  Faultmodel.Model.t -> ?fault:int -> Logicsim.Vectors.t -> Netlist.Logic.t array array
+
+(** [failing_positions ~expected ~observed] lists the (cycle, output) pairs
+    where a binary expectation disagrees with a binary observation.  [X]
+    expectations are masked, as on the tester. *)
+val failing_positions :
+  expected:Netlist.Logic.t array array ->
+  observed:Netlist.Logic.t array array ->
+  (int * int) list
+
+(** [run model seq ~observed ?candidates ()] scores and ranks candidate
+    faults (default: every fault the sequence detects) against the observed
+    response matrix. *)
+val run :
+  Faultmodel.Model.t ->
+  Logicsim.Vectors.t ->
+  observed:Netlist.Logic.t array array ->
+  ?candidates:int array ->
+  unit ->
+  candidate list
+
+(** Candidates that explain the observation exactly ([missed = extra = 0]). *)
+val perfect : candidate list -> candidate list

@@ -1,0 +1,143 @@
+module Circuit = Netlist.Circuit
+module Logic = Netlist.Logic
+module Model = Faultmodel.Model
+module Faultsim = Logicsim.Faultsim
+module Vectors = Logicsim.Vectors
+module Scan = Scanins.Scan
+
+type stats = {
+  sequence : Vectors.t;
+  universe : int;
+  targeted : int;
+  pruned_redundant : int;
+  detected : int;
+  by_random : int;
+  by_atpg : int;
+  by_drain : int;
+  by_justify : int;
+  undetected : int array;
+  targets : Compaction.Target.t;
+}
+
+let coverage s =
+  if s.targeted = 0 then 100.0
+  else 100.0 *. float_of_int s.detected /. float_of_int s.targeted
+
+let generate (cfg : Config.t) sk model =
+  let scan = Atpg.Scan_knowledge.scan sk in
+  let universe = Model.fault_count model in
+  let target_ids, redundant, _unknown =
+    if cfg.Config.prune_redundant then
+      Testability.partition model ~backtrack_limit:cfg.Config.redundancy_budget
+    else Array.init universe Fun.id, [||], [||]
+  in
+  let rng = Prng.Rng.of_string cfg.Config.seed (Circuit.name model.Model.circuit) in
+  let session = Faultsim.create model ~fault_ids:target_ids in
+  let parts = ref [] in
+  let append vecs =
+    if Array.length vecs > 0 then begin
+      Faultsim.advance session vecs;
+      parts := vecs :: !parts
+    end
+  in
+  (* Phase 1: random. *)
+  let by_random =
+    match cfg.Config.random_phase with
+    | None -> 0
+    | Some rp_cfg ->
+      let vecs =
+        Atpg.Random_phase.run session model
+          ~scan_sel_position:(Scan.sel_position scan)
+          ~rng:(Prng.Rng.split rng) rp_cfg
+      in
+      parts := vecs :: !parts;
+      Faultsim.detected_count session
+  in
+  (* Phase 2: deterministic, one target fault at a time. *)
+  let by_atpg = ref 0 and by_drain = ref 0 and by_justify = ref 0 in
+  let commit fid vecs counter =
+    (* A candidate subsequence is committed only when simulation confirms it
+       detects the target from the live states. *)
+    let good = Faultsim.good_state session in
+    let faulty = Faultsim.faulty_state session fid in
+    match Faultsim.detects_single model ~fault:fid ~start:(good, faulty) vecs with
+    | Some _ ->
+      append vecs;
+      incr counter;
+      true
+    | None -> false
+  in
+  (* Free-initial-state searches rarely profit from deep unrolls (the scan
+     load supplies the state); cap their depth list. *)
+  let free_cfg =
+    let rec take n = function
+      | [] -> []
+      | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+    in
+    { cfg.Config.atpg with Atpg.Seq_atpg.depths = take 3 cfg.Config.atpg.Atpg.Seq_atpg.depths }
+  in
+  Array.iter
+    (fun fid ->
+      if Faultsim.detection_time session fid = None then begin
+        let good = Faultsim.good_state session in
+        let faulty = Faultsim.faulty_state session fid in
+        (* One forward search per fault; as in the paper, a fault effect
+           that only reaches a flip-flop during the attempt is salvaged
+           with a scan_sel = 1 drain. *)
+        let found =
+          if cfg.Config.use_drain then begin
+            match
+              Atpg.Seq_atpg.detect_latch model cfg.Config.atpg ~fault:fid ~good ~faulty
+            with
+            | Some (`Detected vecs) -> commit fid (Vectors.fill_x rng vecs) by_atpg
+            | Some (`Latched (vecs, dff)) ->
+              let vecs = Vectors.fill_x rng vecs in
+              let drain = Atpg.Scan_knowledge.drain sk ~rng ~dff in
+              commit fid (Array.append vecs drain) by_drain
+            | None -> false
+          end
+          else begin
+            match Atpg.Seq_atpg.detect model cfg.Config.atpg ~fault:fid ~good ~faulty with
+            | Some vecs -> commit fid (Vectors.fill_x rng vecs) by_atpg
+            | None -> false
+          end
+        in
+        if (not found) && cfg.Config.use_justify then begin
+          match Atpg.Seq_atpg.detect_free model free_cfg ~fault:fid () with
+          | Some (state, vecs) ->
+            let load = Atpg.Scan_knowledge.load sk ~rng ~state in
+            let vecs = Vectors.fill_x rng vecs in
+            ignore (commit fid (Array.append load vecs) by_justify)
+          | None -> ()
+        end
+      end)
+    target_ids;
+  let sequence = Array.concat (List.rev !parts) in
+  let targets =
+    let ids = ref [] and times = ref [] in
+    Array.iter
+      (fun fid ->
+        match Faultsim.detection_time session fid with
+        | Some t ->
+          ids := fid :: !ids;
+          times := t :: !times
+        | None -> ())
+      target_ids;
+    {
+      Compaction.Target.fault_ids = Array.of_list (List.rev !ids);
+      det_times = Array.of_list (List.rev !times);
+    }
+  in
+  {
+    sequence;
+    universe;
+    targeted = Array.length target_ids;
+    pruned_redundant = Array.length redundant;
+    detected = Faultsim.detected_count session;
+    by_random;
+    by_atpg = !by_atpg;
+    by_drain = !by_drain;
+    by_justify = !by_justify;
+    undetected = Faultsim.undetected session;
+    targets;
+  }

@@ -1,0 +1,39 @@
+(** The unified test generation flow (Section 2 of the paper).
+
+    One test sequence for [C_scan] is grown by concatenating subsequences:
+
+    + an optional randomized phase knocks out the easy faults;
+    + for every remaining fault, sequential ATPG searches forward from the
+      sequence's current state;
+    + if that fails, the search is repeated with flip-flops as observation
+      points; on success a [scan_sel = 1] drain brings the latched effect to
+      [scan_out] (the paper's functional-level knowledge of scan — these are
+      the "funct" detections of Table 5);
+    + if that also fails, ATPG runs once more with a free initial state and
+      the required state is established by an [N_SV]-cycle scan load
+      (justification through scan).
+
+    Every appended subsequence is verified by fault simulation before being
+    committed, and the whole fault list is re-simulated over it so that
+    collaterally detected faults are dropped. *)
+
+type stats = {
+  sequence : Logicsim.Vectors.t;  (** the generated sequence, fully specified *)
+  universe : int;  (** collapsed fault count of [C_scan] *)
+  targeted : int;  (** faults targeted (universe minus proven-redundant) *)
+  pruned_redundant : int;
+  detected : int;
+  by_random : int;
+  by_atpg : int;
+  by_drain : int;  (** via scan-knowledge drains — the paper's "funct" *)
+  by_justify : int;  (** via scan-load justification *)
+  undetected : int array;  (** targeted fault ids left undetected *)
+  targets : Compaction.Target.t;
+  (** detected faults with detection times, ready for compaction *)
+}
+
+val generate :
+  Config.t -> Atpg.Scan_knowledge.t -> Faultmodel.Model.t -> stats
+
+(** Fault coverage in percent: [detected / targeted]. *)
+val coverage : stats -> float

@@ -1,0 +1,147 @@
+module Circuit = Netlist.Circuit
+module Logic = Netlist.Logic
+module Model = Faultmodel.Model
+module Faultsim = Logicsim.Faultsim
+module Vectors = Logicsim.Vectors
+module Scan = Scanins.Scan
+
+type lengths = {
+  total : int;
+  scan : int;
+}
+
+type table5_row = {
+  name : string;
+  inp : int;
+  stvr : int;
+  faults : int;
+  detected : int;
+  fcov : float;
+  funct : int;
+}
+
+type table6_row = {
+  name : string;
+  test_len : lengths;
+  restor_len : lengths;
+  omit_len : lengths;
+  ext_det : int;
+  baseline_cycles : int;
+}
+
+type table7_row = {
+  name : string;
+  test_len : lengths;
+  restor_len : lengths;
+  omit_len : lengths;
+  baseline_cycles : int;
+}
+
+type result = {
+  circuit : string;
+  row5 : table5_row;
+  row6 : table6_row;
+  row7 : table7_row option;
+  flow : Flow.stats;
+  runtime_s : float;
+}
+
+let scan_count scan seq =
+  Vectors.count seq ~position:(Scan.sel_position scan) ~value:Logic.One
+
+let lengths scan seq = { total = Array.length seq; scan = scan_count scan seq }
+
+(* Restoration followed by omission, as in the paper's experiments.  The
+   omission trial budget adapts to the restored length so that very large
+   circuits stay within a laptop-scale run; the budget is far above what the
+   schedule consumes on the small and medium benchmarks. *)
+let compact cfg model seq targets =
+  let restored = Compaction.Restoration.run model seq targets in
+  let targets_r = Compaction.Target.compute model restored ~fault_ids:targets.Compaction.Target.fault_ids in
+  let omission =
+    match cfg.Config.omission.Compaction.Omission.max_trials with
+    | Some _ -> cfg.Config.omission
+    | None ->
+      { cfg.Config.omission with
+        Compaction.Omission.max_trials = Some ((4 * Array.length restored) + 2000) }
+  in
+  let omitted, _ = Compaction.Omission.run model restored targets_r omission in
+  restored, omitted
+
+let run ?(scale = Circuits.Profiles.Quick) ?config name =
+  let t0 = Sys.time () in
+  let c = Circuits.Catalog.circuit ~scale name in
+  let cfg =
+    match config with
+    | Some cfg -> cfg
+    | None -> Config.for_circuit c
+  in
+  let scan = Scan.insert ~chains:cfg.Config.chains c in
+  let model = Model.build scan.Scan.circuit in
+  let sk = Atpg.Scan_knowledge.create scan in
+  let flow = Flow.generate cfg sk model in
+  let seq = flow.Flow.sequence in
+  let targets = flow.Flow.targets in
+  let restored, omitted = compact cfg model seq targets in
+  (* Extra detections: previously-undetected targeted faults that the
+     compacted sequence happens to catch. *)
+  let ext_det =
+    if Array.length flow.Flow.undetected = 0 then 0
+    else begin
+      let times =
+        Faultsim.detection_times model ~fault_ids:flow.Flow.undetected omitted
+      in
+      Array.fold_left (fun acc t -> if t >= 0 then acc + 1 else acc) 0 times
+    end
+  in
+  (* Baseline ([26]-style): generation + test dropping. *)
+  let base = Baseline.Gen26.generate scan model cfg.Config.atpg in
+  let base_tests =
+    Baseline.Compact26.run scan model ~fault_ids:base.Baseline.Gen26.detected
+      base.Baseline.Gen26.tests
+  in
+  let baseline_cycles = Baseline.Gen26.cycles scan base_tests in
+  let row5 =
+    {
+      name;
+      inp = Circuit.input_count scan.Scan.circuit;
+      stvr = Circuit.dff_count c;
+      faults = flow.Flow.targeted;
+      detected = flow.Flow.detected;
+      fcov = Flow.coverage flow;
+      funct = flow.Flow.by_drain;
+    }
+  in
+  let row6 =
+    {
+      name;
+      test_len = lengths scan seq;
+      restor_len = lengths scan restored;
+      omit_len = lengths scan omitted;
+      ext_det;
+      baseline_cycles;
+    }
+  in
+  (* Table 7: translate the baseline's compacted set and compact the
+     translation. *)
+  let row7 =
+    if base_tests = [] then None
+    else begin
+      let rng = Prng.Rng.of_string cfg.Config.seed (name ^ "/translate") in
+      let t7 = Translation.Translate.run scan ~tests:base_tests ~rng in
+      let targets7 =
+        Compaction.Target.compute model t7
+          ~fault_ids:base.Baseline.Gen26.detected
+      in
+      let restored7, omitted7 = compact cfg model t7 targets7 in
+      Some
+        {
+          name;
+          test_len = lengths scan t7;
+          restor_len = lengths scan restored7;
+          omit_len = lengths scan omitted7;
+          baseline_cycles;
+        }
+    end
+  in
+  { circuit = name; row5; row6; row7; flow; runtime_s = Sys.time () -. t0 }

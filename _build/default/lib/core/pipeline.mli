@@ -1,0 +1,57 @@
+(** Per-circuit experiment pipeline: everything the paper's Tables 5–7
+    report for one benchmark circuit.
+
+    The pipeline builds the circuit (exact or synthetic substitute), inserts
+    the scan chain, elaborates the fault model, runs the Section-2 unified
+    generation flow, compacts with restoration [23] then omission [22],
+    runs the [26]-style baseline for the comparison column, and translates
+    + compacts the baseline's test set for Table 7. *)
+
+type lengths = {
+  total : int;  (** sequence length = tester clock cycles *)
+  scan : int;  (** vectors with [scan_sel = 1] *)
+}
+
+type table5_row = {
+  name : string;
+  inp : int;  (** primary inputs of [C_scan], scan inputs included *)
+  stvr : int;
+  faults : int;  (** targeted faults (proven-redundant excluded) *)
+  detected : int;
+  fcov : float;
+  funct : int;  (** detections owed to scan functional knowledge (drains) *)
+}
+
+type table6_row = {
+  name : string;
+  test_len : lengths;
+  restor_len : lengths;
+  omit_len : lengths;
+  ext_det : int;  (** extra faults detected after compaction *)
+  baseline_cycles : int;  (** the "[26] cyc" column *)
+}
+
+type table7_row = {
+  name : string;
+  test_len : lengths;
+  restor_len : lengths;
+  omit_len : lengths;
+  baseline_cycles : int;
+}
+
+type result = {
+  circuit : string;
+  row5 : table5_row;
+  row6 : table6_row;
+  row7 : table7_row option;  (** [None] when the baseline detected nothing *)
+  flow : Flow.stats;
+  runtime_s : float;
+}
+
+(** [run ?scale ?config name] executes the full pipeline on a catalog
+    circuit.  [config] defaults to {!Config.for_circuit}. *)
+val run :
+  ?scale:Circuits.Profiles.scale -> ?config:Config.t -> string -> result
+
+(** [scan_count scan seq] counts the [scan_sel = 1] vectors of a sequence. *)
+val scan_count : Scanins.Scan.t -> Logicsim.Vectors.t -> int

@@ -1,0 +1,155 @@
+module Circuit = Netlist.Circuit
+module Logic = Netlist.Logic
+module Scan = Scanins.Scan
+
+let buffer_table f =
+  let buf = Buffer.create 2048 in
+  f buf;
+  Buffer.contents buf
+
+let table5 rows =
+  buffer_table (fun buf ->
+      Buffer.add_string buf
+        "circ        inp  stvr  faults  detected   fcov  funct\n";
+      List.iter
+        (fun (r : Pipeline.table5_row) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-10s %4d %5d %7d %9d %6.2f %6d\n" r.Pipeline.name
+               r.Pipeline.inp r.Pipeline.stvr r.Pipeline.faults
+               r.Pipeline.detected r.Pipeline.fcov r.Pipeline.funct))
+        rows)
+
+let pp_len (l : Pipeline.lengths) = Printf.sprintf "%6d %6d" l.Pipeline.total l.Pipeline.scan
+
+let table6 rows =
+  buffer_table (fun buf ->
+      Buffer.add_string buf
+        "            | test len     | restor len   | omit len     | ext |  [26]\n";
+      Buffer.add_string buf
+        "circ        | total   scan | total   scan | total   scan | det |   cyc\n";
+      let tot_omit = ref 0 and tot_base = ref 0 in
+      List.iter
+        (fun (r : Pipeline.table6_row) ->
+          tot_omit := !tot_omit + r.Pipeline.omit_len.Pipeline.total;
+          tot_base := !tot_base + r.Pipeline.baseline_cycles;
+          Buffer.add_string buf
+            (Printf.sprintf "%-10s  %s  %s  %s  %4d  %6d\n" r.Pipeline.name
+               (pp_len r.Pipeline.test_len)
+               (pp_len r.Pipeline.restor_len)
+               (pp_len r.Pipeline.omit_len)
+               r.Pipeline.ext_det r.Pipeline.baseline_cycles))
+        rows;
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s  %13s  %13s  %6d %6s  %4s  %6d\n" "total" "" ""
+           !tot_omit "" "" !tot_base))
+
+let table7 rows =
+  buffer_table (fun buf ->
+      Buffer.add_string buf
+        "            | test len     | restor len   | omit len     |  [26]\n";
+      Buffer.add_string buf
+        "circ        | total   scan | total   scan | total   scan |   cyc\n";
+      let tot_omit = ref 0 and tot_base = ref 0 in
+      List.iter
+        (fun (r : Pipeline.table7_row) ->
+          tot_omit := !tot_omit + r.Pipeline.omit_len.Pipeline.total;
+          tot_base := !tot_base + r.Pipeline.baseline_cycles;
+          Buffer.add_string buf
+            (Printf.sprintf "%-10s  %s  %s  %s  %6d\n" r.Pipeline.name
+               (pp_len r.Pipeline.test_len)
+               (pp_len r.Pipeline.restor_len)
+               (pp_len r.Pipeline.omit_len)
+               r.Pipeline.baseline_cycles))
+        rows;
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s  %13s  %13s  %6d %6s  %6d\n" "total" "" ""
+           !tot_omit "" !tot_base))
+
+let sequence scan seq =
+  let c = scan.Scan.circuit in
+  let inputs = Circuit.inputs c in
+  let orig = scan.Scan.original_pi_count in
+  buffer_table (fun buf ->
+      Buffer.add_string buf "   t ";
+      Array.iteri
+        (fun i id ->
+          if i < orig then
+            Buffer.add_string buf (Printf.sprintf " %s" (Circuit.node c id).Circuit.name))
+        inputs;
+      Buffer.add_string buf "  scan_sel scan_inp\n";
+      Array.iteri
+        (fun t v ->
+          Buffer.add_string buf (Printf.sprintf "%4d " t);
+          for i = 0 to orig - 1 do
+            Buffer.add_string buf (Printf.sprintf " %c" (Logic.to_char v.(i)))
+          done;
+          Buffer.add_string buf
+            (Printf.sprintf "     %c    " (Logic.to_char v.(Scan.sel_position scan)));
+          for ch = 0 to Array.length scan.Scan.chains - 1 do
+            Buffer.add_string buf
+              (Printf.sprintf "    %c"
+                 (Logic.to_char v.(Scan.inp_position scan ~chain:ch)))
+          done;
+          Buffer.add_char buf '\n')
+        seq)
+
+let scan_runs scan seq =
+  let sel = Scan.sel_position scan in
+  let runs = ref [] in
+  let start = ref (-1) in
+  Array.iteri
+    (fun t v ->
+      if Logic.equal v.(sel) Logic.One then begin
+        if !start < 0 then start := t
+      end
+      else if !start >= 0 then begin
+        runs := (!start, t - !start) :: !runs;
+        start := -1
+      end)
+    seq;
+  if !start >= 0 then runs := (!start, Array.length seq - !start) :: !runs;
+  List.rev !runs
+
+let table5_csv rows =
+  buffer_table (fun buf ->
+      Buffer.add_string buf "circuit,inp,stvr,faults,detected,fcov,funct\n";
+      List.iter
+        (fun (r : Pipeline.table5_row) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%d,%d,%d,%d,%.2f,%d\n" r.Pipeline.name
+               r.Pipeline.inp r.Pipeline.stvr r.Pipeline.faults
+               r.Pipeline.detected r.Pipeline.fcov r.Pipeline.funct))
+        rows)
+
+let csv_len (l : Pipeline.lengths) =
+  Printf.sprintf "%d,%d" l.Pipeline.total l.Pipeline.scan
+
+let table6_csv rows =
+  buffer_table (fun buf ->
+      Buffer.add_string buf
+        "circuit,test_total,test_scan,restor_total,restor_scan,omit_total,\
+         omit_scan,ext_det,baseline_cycles\n";
+      List.iter
+        (fun (r : Pipeline.table6_row) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%s,%s,%s,%d,%d\n" r.Pipeline.name
+               (csv_len r.Pipeline.test_len)
+               (csv_len r.Pipeline.restor_len)
+               (csv_len r.Pipeline.omit_len)
+               r.Pipeline.ext_det r.Pipeline.baseline_cycles))
+        rows)
+
+let table7_csv rows =
+  buffer_table (fun buf ->
+      Buffer.add_string buf
+        "circuit,test_total,test_scan,restor_total,restor_scan,omit_total,\
+         omit_scan,baseline_cycles\n";
+      List.iter
+        (fun (r : Pipeline.table7_row) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%s,%s,%s,%d\n" r.Pipeline.name
+               (csv_len r.Pipeline.test_len)
+               (csv_len r.Pipeline.restor_len)
+               (csv_len r.Pipeline.omit_len)
+               r.Pipeline.baseline_cycles))
+        rows)

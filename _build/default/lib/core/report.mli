@@ -1,0 +1,27 @@
+(** Paper-style rendering of results.
+
+    The three experiment tables reproduce the column structure of the
+    paper's Tables 5–7; {!sequence} renders a unified test sequence the way
+    Tables 1, 3 and 4 do (one row per clock cycle, scan lines last). *)
+
+val table5 : Pipeline.table5_row list -> string
+val table6 : Pipeline.table6_row list -> string
+val table7 : Pipeline.table7_row list -> string
+
+(** [sequence scan seq] — the per-cycle table: time, original primary
+    inputs, [scan_sel], [scan_inp]s. *)
+val sequence : Scanins.Scan.t -> Logicsim.Vectors.t -> string
+
+(** [scan_runs scan seq] summarizes the scan operations embedded in a
+    sequence: list of [(start, length)] of maximal [scan_sel = 1] runs —
+    runs shorter than [N_SV] are limited scan operations. *)
+val scan_runs : Scanins.Scan.t -> Logicsim.Vectors.t -> (int * int) list
+
+(** {1 CSV exports}
+
+    Header line plus one line per row — for plotting and regression
+    tracking. *)
+
+val table5_csv : Pipeline.table5_row list -> string
+val table6_csv : Pipeline.table6_row list -> string
+val table7_csv : Pipeline.table7_row list -> string

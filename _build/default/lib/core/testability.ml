@@ -1,0 +1,29 @@
+module Model = Faultmodel.Model
+
+type verdict =
+  | Testable
+  | Redundant
+  | Unknown
+
+let classify model ~fault ~backtrack_limit =
+  match
+    Atpg.Podem.run model ~fault ~depth:1 ~start:Atpg.Podem.Free_state
+      ~backtrack_limit ~observe_ffs:true ()
+  with
+  | Atpg.Podem.Detected _ | Atpg.Podem.Latched _ -> Testable
+  | Atpg.Podem.Exhausted -> Redundant
+  | Atpg.Podem.Aborted -> Unknown
+
+let partition model ~backtrack_limit =
+  let targets = ref [] and redundant = ref [] and unknown = ref [] in
+  for fault = Model.fault_count model - 1 downto 0 do
+    match classify model ~fault ~backtrack_limit with
+    | Testable -> targets := fault :: !targets
+    | Redundant -> redundant := fault :: !redundant
+    | Unknown ->
+      unknown := fault :: !unknown;
+      targets := fault :: !targets
+  done;
+  ( Array.of_list !targets,
+    Array.of_list !redundant,
+    Array.of_list !unknown )

@@ -1,0 +1,56 @@
+module Circuit = Netlist.Circuit
+module Logic = Netlist.Logic
+
+type cycle = {
+  inputs : Logic.t array;
+  expected : Logic.t array;
+}
+
+type t = {
+  circuit : Circuit.t;
+  cycles : cycle array;
+}
+
+let build circuit seq =
+  let sim = Logicsim.Goodsim.create circuit in
+  let cycles =
+    Array.map
+      (fun vec ->
+        Logicsim.Goodsim.step sim vec;
+        { inputs = Array.copy vec; expected = Logicsim.Goodsim.po_values sim })
+      seq
+  in
+  { circuit; cycles }
+
+let observing_cycles t =
+  Array.fold_left
+    (fun acc cy ->
+      if Array.exists Logic.is_binary cy.expected then acc + 1 else acc)
+    0 t.cycles
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let name id = (Circuit.node t.circuit id).Circuit.name in
+  Buffer.add_string buf
+    (Printf.sprintf "# tester program for %s\n" (Circuit.name t.circuit));
+  Buffer.add_string buf
+    (Printf.sprintf "# inputs:  %s\n"
+       (String.concat " " (List.map name (Array.to_list (Circuit.inputs t.circuit)))));
+  Buffer.add_string buf
+    (Printf.sprintf "# outputs: %s\n"
+       (String.concat " " (List.map name (Array.to_list (Circuit.outputs t.circuit)))));
+  Buffer.add_string buf "# x in the output field means: do not compare\n";
+  Array.iteri
+    (fun tme cy ->
+      Buffer.add_string buf
+        (Printf.sprintf "%5d %s | %s\n" tme
+           (Logicsim.Vectors.to_string cy.inputs)
+           (Logicsim.Vectors.to_string cy.expected)))
+    t.cycles;
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string t))

@@ -1,0 +1,36 @@
+(** Tester program export.
+
+    A test sequence only becomes applicable on automatic test equipment
+    once every cycle also carries the expected primary-output response.
+    [build] runs the fault-free machine from power-up and pairs each input
+    vector with its expected outputs; [X] expectations (unknowns from the
+    unreset initial state) are mask positions the tester must ignore.
+
+    The text format is one line per cycle:
+    {v
+      <time> <input bits> | <expected output bits>
+    v}
+    with a header naming the signals — deliberately trivial to post-process
+    into any vendor format. *)
+
+type cycle = {
+  inputs : Netlist.Logic.t array;
+  expected : Netlist.Logic.t array;  (** [X] = masked/don't-compare *)
+}
+
+type t = private {
+  circuit : Netlist.Circuit.t;
+  cycles : cycle array;
+}
+
+(** [build circuit seq] simulates from the all-[X] power-up state.
+    @raise Invalid_argument when a vector does not match the circuit's
+    input count. *)
+val build : Netlist.Circuit.t -> Logicsim.Vectors.t -> t
+
+(** Cycles whose expected outputs are fully masked contribute nothing; this
+    counts the cycles carrying at least one compare. *)
+val observing_cycles : t -> int
+
+val to_string : t -> string
+val write_file : string -> t -> unit

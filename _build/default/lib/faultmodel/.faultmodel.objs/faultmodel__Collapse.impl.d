@@ -1,0 +1,1 @@
+lib/faultmodel/collapse.ml: Array Fault Fun Hashtbl List Netlist

@@ -1,0 +1,1 @@
+lib/faultmodel/collapse.mli: Fault Netlist

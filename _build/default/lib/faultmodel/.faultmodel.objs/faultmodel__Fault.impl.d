@@ -1,0 +1,1 @@
+lib/faultmodel/fault.ml: Array Format List Netlist Printf Stdlib

@@ -1,0 +1,1 @@
+lib/faultmodel/fault.mli: Format Netlist

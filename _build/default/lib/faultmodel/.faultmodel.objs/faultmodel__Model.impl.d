@@ -1,0 +1,1 @@
+lib/faultmodel/model.ml: Array Collapse Fault List Netlist Printf

@@ -1,0 +1,1 @@
+lib/faultmodel/model.mli: Fault Netlist

@@ -1,0 +1,81 @@
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+type result = {
+  universe : Fault.t array;
+  class_of : int array;
+  representatives : Fault.t array;
+}
+
+module Uf = struct
+  let create n = Array.init n Fun.id
+
+  let rec find t i = if t.(i) = i then i else begin
+    t.(i) <- find t t.(i);
+    t.(i)
+  end
+
+  (* Union keeps the smaller root so the class representative is the first
+     fault in universe order. *)
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra < rb then t.(rb) <- ra else if rb < ra then t.(ra) <- rb
+end
+
+let run c =
+  let universe = Fault.universe c in
+  let n = Array.length universe in
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i f -> Hashtbl.replace index f i) universe;
+  let uf = Uf.create n in
+  (* The fault object carried by pin [pin] of gate [sink] at value [v]:
+     a branch fault when the driver has electrical fanout > 1, the driver's
+     stem fault otherwise (same line). *)
+  let pin_fault sink pin v =
+    let driver = (Circuit.node c sink).Circuit.fanins.(pin) in
+    if Circuit.fanout_count c driver > 1 then
+      { Fault.site = Fault.Branch { sink; pin }; stuck = v }
+    else { Fault.site = Fault.Stem driver; stuck = v }
+  in
+  let idx f =
+    match Hashtbl.find_opt index f with
+    | Some i -> i
+    | None -> invalid_arg "Collapse.run: fault outside universe"
+  in
+  let unify fa fb = Uf.union uf (idx fa) (idx fb) in
+  Array.iter
+    (fun nd ->
+      let g = nd.Circuit.id in
+      let stem v = { Fault.site = Fault.Stem g; stuck = v } in
+      match nd.Circuit.kind with
+      | Gate.Buf ->
+        unify (pin_fault g 0 false) (stem false);
+        unify (pin_fault g 0 true) (stem true)
+      | Gate.Not ->
+        unify (pin_fault g 0 false) (stem true);
+        unify (pin_fault g 0 true) (stem false)
+      | Gate.And | Gate.Nand | Gate.Or | Gate.Nor ->
+        let ctrl =
+          match Gate.controlling nd.Circuit.kind with
+          | Some Netlist.Logic.Zero -> false
+          | Some Netlist.Logic.One -> true
+          | Some Netlist.Logic.X | None -> assert false
+        in
+        let out_v = if Gate.inversion nd.Circuit.kind then not ctrl else ctrl in
+        Array.iteri (fun pin _ -> unify (pin_fault g pin ctrl) (stem out_v)) nd.Circuit.fanins
+      | Gate.Input | Gate.Dff | Gate.Xor | Gate.Xnor | Gate.Mux -> ())
+    (Circuit.nodes c);
+  let class_of = Array.make n (-1) in
+  let reps = ref [] in
+  let next_class = ref 0 in
+  let root_class = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    let r = Uf.find uf i in
+    if root_class.(r) < 0 then begin
+      root_class.(r) <- !next_class;
+      incr next_class;
+      reps := universe.(r) :: !reps
+    end;
+    class_of.(i) <- root_class.(r)
+  done;
+  { universe; class_of; representatives = Array.of_list (List.rev !reps) }

@@ -1,0 +1,18 @@
+(** Structural equivalence fault collapsing.
+
+    Classic gate-local equivalences, chained through fanout-free regions:
+    for a gate with controlling value [c] and output inversion [i], every
+    input stuck-at-[c] is equivalent to the output stuck-at-[c XOR i];
+    buffer/inverter input faults are equivalent to the corresponding output
+    faults.  No equivalence is applied across XOR/XNOR/MUX gates or through
+    flip-flops (a flip-flop shifts the effect in time).  Equivalence classes
+    are computed by union-find; the representative of a class is its first
+    member in {!Fault.universe} order. *)
+
+type result = {
+  universe : Fault.t array;  (** the uncollapsed list *)
+  class_of : int array;  (** universe index -> class index *)
+  representatives : Fault.t array;  (** one fault per class, in class order *)
+}
+
+val run : Netlist.Circuit.t -> result

@@ -1,0 +1,50 @@
+module Circuit = Netlist.Circuit
+
+type site =
+  | Stem of int
+  | Branch of {
+      sink : int;
+      pin : int;
+    }
+
+type t = {
+  site : site;
+  stuck : bool;
+}
+
+let site_key = function
+  | Stem n -> n, -1
+  | Branch { sink; pin } -> sink, pin
+
+let compare a b =
+  let ka = site_key a.site and kb = site_key b.site in
+  match Stdlib.compare ka kb with
+  | 0 -> Stdlib.compare a.stuck b.stuck
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let universe c =
+  let acc = ref [] in
+  let add site =
+    acc := { site; stuck = true } :: { site; stuck = false } :: !acc
+  in
+  Array.iter
+    (fun nd ->
+      add (Stem nd.Circuit.id);
+      Array.iteri
+        (fun pin f ->
+          if Circuit.fanout_count c f > 1 then
+            add (Branch { sink = nd.Circuit.id; pin }))
+        nd.Circuit.fanins)
+    (Circuit.nodes c);
+  Array.of_list (List.rev !acc)
+
+let name c t =
+  let v = if t.stuck then '1' else '0' in
+  match t.site with
+  | Stem n -> Printf.sprintf "%s/%c" (Circuit.node c n).Circuit.name v
+  | Branch { sink; pin } ->
+    Printf.sprintf "%s.in%d/%c" (Circuit.node c sink).Circuit.name pin v
+
+let pp c fmt t = Format.pp_print_string fmt (name c t)

@@ -1,0 +1,31 @@
+(** Single stuck-at faults.
+
+    A fault site is either a {e stem} (a node's output line) or a
+    {e branch} (one fanin pin of one gate, when the driving stem has
+    electrical fanout greater than one — a fanout-free pin is the same
+    electrical line as its driver's output and gets no separate site). *)
+
+type site =
+  | Stem of int  (** node id whose output line is faulty *)
+  | Branch of {
+      sink : int;  (** gate whose input pin is faulty *)
+      pin : int;  (** pin index into the sink's fanins *)
+    }
+
+type t = {
+  site : site;
+  stuck : bool;  (** the stuck-at value *)
+}
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [universe c] enumerates the full uncollapsed fault list of [c]: two
+    faults per stem (every node) and two per branch pin of every
+    multi-fanout stem, in a deterministic order. *)
+val universe : Netlist.Circuit.t -> t array
+
+(** Human-readable name, e.g. ["G11/0"] or ["G9.in1/1"]. *)
+val name : Netlist.Circuit.t -> t -> string
+
+val pp : Netlist.Circuit.t -> Format.formatter -> t -> unit

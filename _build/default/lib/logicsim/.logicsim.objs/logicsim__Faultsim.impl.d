@@ -1,0 +1,1 @@
+lib/logicsim/faultsim.ml: Array Faultmodel Goodsim Hashtbl List Netlist

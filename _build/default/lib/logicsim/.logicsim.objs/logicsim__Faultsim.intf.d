@@ -1,0 +1,1 @@
+lib/logicsim/faultsim.mli: Faultmodel Netlist Vectors

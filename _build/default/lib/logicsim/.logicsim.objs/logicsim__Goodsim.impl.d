@@ -1,0 +1,1 @@
+lib/logicsim/goodsim.ml: Array Netlist

@@ -1,0 +1,1 @@
+lib/logicsim/goodsim.mli: Netlist Vectors

@@ -1,0 +1,1 @@
+lib/logicsim/vcd.ml: Array Buffer Char Fun Goodsim Hashtbl List Netlist Printf

@@ -1,0 +1,1 @@
+lib/logicsim/vcd.mli: Netlist Vectors

@@ -1,0 +1,1 @@
+lib/logicsim/vectors.ml: Array Format Netlist Prng String

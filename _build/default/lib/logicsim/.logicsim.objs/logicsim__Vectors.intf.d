@@ -1,0 +1,1 @@
+lib/logicsim/vectors.mli: Format Netlist Prng

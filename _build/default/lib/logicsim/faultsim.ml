@@ -1,0 +1,383 @@
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+module Logic = Netlist.Logic
+module Levelize = Netlist.Levelize
+module Model = Faultmodel.Model
+
+let width = 62
+let full = (1 lsl width) - 1
+
+type group = {
+  ids : int array;  (* slot -> fault id *)
+  mutable active : int;  (* bitmask of undetected machines *)
+  fzero : int array;  (* per dff index: state words *)
+  fone : int array;
+  inj_nodes : int array;  (* nodes carrying an injection in this group *)
+  inj1 : int array;  (* stuck-at-1 machine masks, parallel to inj_nodes *)
+  inj0 : int array;
+}
+
+type t = {
+  model : Model.t;
+  order : int array;
+  inputs : int array;
+  outputs : int array;
+  dffs : int array;
+  dff_fanin : int array;
+  kinds : Gate.kind array;
+  fanins : int array array;
+  good : Goodsim.t;
+  groups : group array;
+  group_of : int array;  (* fault id -> group index, -1 when untargeted *)
+  slot_of : int array;  (* fault id -> slot in its group *)
+  det_time : int array;  (* fault id -> frame, -1 undetected *)
+  mutable detected : int;
+  mutable time : int;
+  (* scratch, node-indexed *)
+  wzero : int array;
+  wone : int array;
+  mzero : int array;  (* per-node injection masks while a group runs *)
+  mone : int array;
+}
+
+let create ?good_state ?faulty_states model ~fault_ids =
+  let c = model.Model.circuit in
+  let n = Circuit.node_count c in
+  let dffs = Circuit.dffs c in
+  let nff = Array.length dffs in
+  let fault_total = Model.fault_count model in
+  let good = Goodsim.create c in
+  let good_state =
+    match good_state with
+    | Some s -> s
+    | None -> Array.make nff Logic.X
+  in
+  Goodsim.set_state good good_state;
+  let faulty_state_of =
+    match faulty_states with
+    | Some f -> f
+    | None -> fun _ -> good_state
+  in
+  let ngroups = (Array.length fault_ids + width - 1) / width in
+  let group_of = Array.make fault_total (-1) in
+  let slot_of = Array.make fault_total (-1) in
+  let groups =
+    Array.init ngroups (fun gi ->
+        let lo = gi * width in
+        let len = min width (Array.length fault_ids - lo) in
+        let ids = Array.sub fault_ids lo len in
+        Array.iteri
+          (fun slot fid ->
+            if group_of.(fid) >= 0 then
+              invalid_arg "Faultsim.create: duplicate fault id";
+            group_of.(fid) <- gi;
+            slot_of.(fid) <- slot)
+          ids;
+        let fzero = Array.make nff 0 and fone = Array.make nff 0 in
+        Array.iteri
+          (fun slot fid ->
+            let st = faulty_state_of fid in
+            let bit = 1 lsl slot in
+            Array.iteri
+              (fun k v ->
+                match v with
+                | Logic.Zero -> fzero.(k) <- fzero.(k) lor bit
+                | Logic.One -> fone.(k) <- fone.(k) lor bit
+                | Logic.X -> ())
+              st)
+          ids;
+        let inj = Hashtbl.create 16 in
+        Array.iteri
+          (fun slot fid ->
+            let node = model.Model.fault_node.(fid) in
+            let m1, m0 =
+              match Hashtbl.find_opt inj node with
+              | Some p -> p
+              | None -> 0, 0
+            in
+            let bit = 1 lsl slot in
+            let p =
+              if model.Model.fault_stuck.(fid) then m1 lor bit, m0
+              else m1, m0 lor bit
+            in
+            Hashtbl.replace inj node p)
+          ids;
+        let inj_nodes = Array.of_seq (Hashtbl.to_seq_keys inj) in
+        Array.sort compare inj_nodes;
+        let inj1 = Array.map (fun nd -> fst (Hashtbl.find inj nd)) inj_nodes in
+        let inj0 = Array.map (fun nd -> snd (Hashtbl.find inj nd)) inj_nodes in
+        { ids; active = (if len = width then full else (1 lsl len) - 1);
+          fzero; fone; inj_nodes; inj1; inj0 })
+  in
+  {
+    model;
+    order = model.Model.levelize.Levelize.order;
+    inputs = Circuit.inputs c;
+    outputs = Circuit.outputs c;
+    dffs;
+    dff_fanin = Array.map (fun ff -> (Circuit.node c ff).Circuit.fanins.(0)) dffs;
+    kinds = Array.map (fun nd -> nd.Circuit.kind) (Circuit.nodes c);
+    fanins = Array.map (fun nd -> nd.Circuit.fanins) (Circuit.nodes c);
+    good;
+    groups;
+    group_of;
+    slot_of;
+    det_time = Array.make fault_total (-1);
+    detected = 0;
+    time = 0;
+    wzero = Array.make n 0;
+    wone = Array.make n 0;
+    mzero = Array.make n 0;
+    mone = Array.make n 0;
+  }
+
+let time t = t.time
+
+(* Force the injected machines' bits at node [nd]. *)
+let[@inline] apply_inj t nd =
+  let m1 = t.mone.(nd) and m0 = t.mzero.(nd) in
+  if m1 lor m0 <> 0 then begin
+    t.wzero.(nd) <- t.wzero.(nd) land lnot m1 lor m0;
+    t.wone.(nd) <- t.wone.(nd) land lnot m0 lor m1
+  end
+
+let eval_gate t nd =
+  let f = t.fanins.(nd) in
+  let wz = t.wzero and wo = t.wone in
+  match t.kinds.(nd) with
+  | Gate.Buf ->
+    wz.(nd) <- wz.(f.(0));
+    wo.(nd) <- wo.(f.(0))
+  | Gate.Not ->
+    wz.(nd) <- wo.(f.(0));
+    wo.(nd) <- wz.(f.(0))
+  | Gate.And | Gate.Nand ->
+    let z = ref wz.(f.(0)) and o = ref wo.(f.(0)) in
+    for i = 1 to Array.length f - 1 do
+      z := !z lor wz.(f.(i));
+      o := !o land wo.(f.(i))
+    done;
+    if t.kinds.(nd) = Gate.Nand then begin
+      wz.(nd) <- !o;
+      wo.(nd) <- !z
+    end
+    else begin
+      wz.(nd) <- !z;
+      wo.(nd) <- !o
+    end
+  | Gate.Or | Gate.Nor ->
+    let z = ref wz.(f.(0)) and o = ref wo.(f.(0)) in
+    for i = 1 to Array.length f - 1 do
+      z := !z land wz.(f.(i));
+      o := !o lor wo.(f.(i))
+    done;
+    if t.kinds.(nd) = Gate.Nor then begin
+      wz.(nd) <- !o;
+      wo.(nd) <- !z
+    end
+    else begin
+      wz.(nd) <- !z;
+      wo.(nd) <- !o
+    end
+  | Gate.Xor | Gate.Xnor ->
+    let z = ref wz.(f.(0)) and o = ref wo.(f.(0)) in
+    for i = 1 to Array.length f - 1 do
+      let z2 = wz.(f.(i)) and o2 = wo.(f.(i)) in
+      let no = !o land z2 lor (!z land o2) in
+      let nz = !z land z2 lor (!o land o2) in
+      z := nz;
+      o := no
+    done;
+    if t.kinds.(nd) = Gate.Xnor then begin
+      wz.(nd) <- !o;
+      wo.(nd) <- !z
+    end
+    else begin
+      wz.(nd) <- !z;
+      wo.(nd) <- !o
+    end
+  | Gate.Mux ->
+    let zs = wz.(f.(0)) and os = wo.(f.(0)) in
+    let za = wz.(f.(1)) and oa = wo.(f.(1)) in
+    let zb = wz.(f.(2)) and ob = wo.(f.(2)) in
+    wo.(nd) <- zs land oa lor (os land ob) lor (oa land ob);
+    wz.(nd) <- zs land za lor (os land zb) lor (za land zb)
+  | Gate.Input | Gate.Dff -> ()
+
+(* Simulate one frame for one group; [good_po] holds the frame's fault-free
+   output values.  Returns nothing; detections update session state. *)
+let sim_frame t g vec good_po =
+  (* Sources. *)
+  Array.iteri
+    (fun i id ->
+      (match vec.(i) with
+       | Logic.One ->
+         t.wone.(id) <- full;
+         t.wzero.(id) <- 0
+       | Logic.Zero ->
+         t.wone.(id) <- 0;
+         t.wzero.(id) <- full
+       | Logic.X ->
+         t.wone.(id) <- 0;
+         t.wzero.(id) <- 0);
+      apply_inj t id)
+    t.inputs;
+  Array.iteri
+    (fun k id ->
+      t.wzero.(id) <- g.fzero.(k);
+      t.wone.(id) <- g.fone.(k);
+      apply_inj t id)
+    t.dffs;
+  (* Combinational evaluation. *)
+  Array.iter
+    (fun nd ->
+      eval_gate t nd;
+      apply_inj t nd)
+    t.order;
+  (* Detection. *)
+  let det = ref 0 in
+  Array.iteri
+    (fun p id ->
+      match good_po.(p) with
+      | Logic.One -> det := !det lor t.wzero.(id)
+      | Logic.Zero -> det := !det lor t.wone.(id)
+      | Logic.X -> ())
+    t.outputs;
+  let det = !det land g.active in
+  if det <> 0 then begin
+    Array.iteri
+      (fun slot fid ->
+        if det land (1 lsl slot) <> 0 then begin
+          t.det_time.(fid) <- t.time;
+          t.detected <- t.detected + 1
+        end)
+      g.ids;
+    g.active <- g.active land lnot det
+  end;
+  (* Latch. *)
+  Array.iteri
+    (fun k d ->
+      g.fzero.(k) <- t.wzero.(d);
+      g.fone.(k) <- t.wone.(d))
+    t.dff_fanin
+
+let advance t seq =
+  let nframes = Array.length seq in
+  if nframes > 0 then begin
+    let good_pos =
+      Array.map
+        (fun vec ->
+          Goodsim.step t.good vec;
+          Goodsim.po_values t.good)
+        seq
+    in
+    let t0 = t.time in
+    Array.iter
+      (fun g ->
+        if g.active <> 0 then begin
+          Array.iteri
+            (fun i nd ->
+              t.mone.(nd) <- g.inj1.(i);
+              t.mzero.(nd) <- g.inj0.(i))
+            g.inj_nodes;
+          t.time <- t0;
+          let fi = ref 0 in
+          while g.active <> 0 && !fi < nframes do
+            sim_frame t g seq.(!fi) good_pos.(!fi);
+            t.time <- t.time + 1;
+            incr fi
+          done;
+          Array.iter
+            (fun nd ->
+              t.mone.(nd) <- 0;
+              t.mzero.(nd) <- 0)
+            g.inj_nodes
+        end)
+      t.groups;
+    t.time <- t0 + nframes
+  end
+
+let check_target t fid =
+  if fid < 0 || fid >= Array.length t.group_of || t.group_of.(fid) < 0 then
+    invalid_arg "Faultsim: fault not targeted by this session"
+
+let detection_time t fid =
+  check_target t fid;
+  if t.det_time.(fid) >= 0 then Some t.det_time.(fid) else None
+
+let detected_count t = t.detected
+
+let undetected t =
+  let acc = ref [] in
+  Array.iter
+    (fun g ->
+      Array.iteri
+        (fun slot fid -> if g.active land (1 lsl slot) <> 0 then acc := fid :: !acc)
+        g.ids)
+    t.groups;
+  Array.of_list (List.rev !acc)
+
+let good_state t = Goodsim.state t.good
+
+let faulty_state t fid =
+  check_target t fid;
+  let g = t.groups.(t.group_of.(fid)) in
+  let bit = 1 lsl t.slot_of.(fid) in
+  Array.mapi
+    (fun k _ ->
+      if g.fone.(k) land bit <> 0 then Logic.One
+      else if g.fzero.(k) land bit <> 0 then Logic.Zero
+      else Logic.X)
+    t.dffs
+
+let ff_effects t fid =
+  check_target t fid;
+  let g = t.groups.(t.group_of.(fid)) in
+  let bit = 1 lsl t.slot_of.(fid) in
+  let good = Goodsim.state t.good in
+  let acc = ref [] in
+  for k = Array.length t.dffs - 1 downto 0 do
+    let effect =
+      match good.(k) with
+      | Logic.One -> g.fzero.(k) land bit <> 0
+      | Logic.Zero -> g.fone.(k) land bit <> 0
+      | Logic.X -> false
+    in
+    if effect then acc := k :: !acc
+  done;
+  !acc
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let effect_bits t =
+  let good = Goodsim.state t.good in
+  let total = ref 0 in
+  Array.iter
+    (fun g ->
+      if g.active <> 0 then
+        Array.iteri
+          (fun k gv ->
+            match gv with
+            | Logic.One -> total := !total + popcount (g.fzero.(k) land g.active)
+            | Logic.Zero -> total := !total + popcount (g.fone.(k) land g.active)
+            | Logic.X -> ())
+          good)
+    t.groups;
+  !total
+
+let detection_times model ~fault_ids seq =
+  let s = create model ~fault_ids in
+  advance s seq;
+  Array.map (fun fid -> s.det_time.(fid)) fault_ids
+
+let detects_single model ~fault ?start seq =
+  let s =
+    match start with
+    | None -> create model ~fault_ids:[| fault |]
+    | Some (good_state, faulty) ->
+      create ~good_state ~faulty_states:(fun _ -> faulty) model ~fault_ids:[| fault |]
+  in
+  advance s seq;
+  detection_time s fault

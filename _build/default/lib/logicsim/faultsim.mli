@@ -1,0 +1,83 @@
+(** PROOFS-style parallel-fault sequential fault simulation.
+
+    Faults are simulated in groups of up to 62 per native machine word: a
+    signal's value across the group is a pair of bit-words [(zero, one)]
+    (two-rail three-valued encoding, [X] = neither bit).  Each group carries
+    its own flip-flop state words across time frames; a fault is injected by
+    forcing the faulty node's output bits for the owning machine — branch
+    faults were turned into node-output faults by {!Faultmodel.Model}.
+
+    A {!t} is a *session*: it holds the good machine, every group's faulty
+    state, and per-fault first-detection times.  Sequences are fed
+    incrementally with {!advance}, which is what makes the generation flow's
+    repeated "append a subsequence, then drop newly-detected faults" cheap.
+
+    Detection is strict: a fault is detected at a frame when some primary
+    output (including [scan_out]) has a binary good value and the opposite
+    binary faulty value. *)
+
+type t
+
+(** [create model ~fault_ids] starts a session over the given target faults
+    (indices into [model.faults]) at time 0.
+
+    [good_state] (default all-[X]) initializes the flip-flop state,
+    indexed like [Circuit.dffs]; [faulty_states] (default: same as the good
+    state) gives a per-fault initial state, enabling sessions that continue
+    from the middle of another simulation. *)
+val create :
+  ?good_state:Netlist.Logic.t array ->
+  ?faulty_states:(int -> Netlist.Logic.t array) ->
+  Faultmodel.Model.t ->
+  fault_ids:int array ->
+  t
+
+(** Frames consumed so far. *)
+val time : t -> int
+
+(** [advance t seq] simulates the next [Array.length seq] frames. *)
+val advance : t -> Vectors.t -> unit
+
+(** First detection time of a fault (a frame index), if any.
+    @raise Invalid_argument if the fault is not targeted by this session. *)
+val detection_time : t -> int -> int option
+
+val detected_count : t -> int
+
+(** Target faults still undetected, in target order. *)
+val undetected : t -> int array
+
+(** Current good-machine flip-flop state (fresh array). *)
+val good_state : t -> Netlist.Logic.t array
+
+(** [faulty_state t fault] is the fault's machine state (fresh array).
+    Meaningful for undetected faults (detected machines stop being
+    updated). *)
+val faulty_state : t -> int -> Netlist.Logic.t array
+
+(** Flip-flop indices currently holding a strict fault effect for [fault]:
+    good value binary, faulty value the opposite binary. *)
+val ff_effects : t -> int -> int list
+
+(** Total number of (undetected fault, flip-flop) pairs currently holding a
+    strict fault effect — a cheap word-parallel progress measure for
+    simulation-based test generation. *)
+val effect_bits : t -> int
+
+(** {1 One-shot conveniences} *)
+
+(** [detection_times model ~fault_ids seq] simulates [seq] from power-up and
+    returns first-detection times aligned with [fault_ids] ([-1] when
+    undetected). *)
+val detection_times :
+  Faultmodel.Model.t -> fault_ids:int array -> Vectors.t -> int array
+
+(** [detects_single model ~fault ?start seq] simulates one fault, optionally
+    from a [(good_state, faulty_state)] pair, and returns its detection time
+    within [seq]. *)
+val detects_single :
+  Faultmodel.Model.t ->
+  fault:int ->
+  ?start:Netlist.Logic.t array * Netlist.Logic.t array ->
+  Vectors.t ->
+  int option

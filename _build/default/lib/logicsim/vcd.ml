@@ -1,0 +1,79 @@
+module Circuit = Netlist.Circuit
+module Logic = Netlist.Logic
+
+(* VCD identifier codes: printable ASCII 33..126, little-endian digits. *)
+let code_of_index i =
+  let base = 94 in
+  let buf = Buffer.create 4 in
+  let rec go i =
+    Buffer.add_char buf (Char.chr (33 + (i mod base)));
+    if i >= base then go ((i / base) - 1)
+  in
+  go i;
+  Buffer.contents buf
+
+let vcd_char v =
+  match v with
+  | Logic.Zero -> '0'
+  | Logic.One -> '1'
+  | Logic.X -> 'x'
+
+let render ?scope circuit seq nodes =
+  let scope =
+    match scope with
+    | Some s -> s
+    | None -> Circuit.name circuit
+  in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "$date scanatpg dump $end\n";
+  Buffer.add_string buf "$version scanatpg $end\n";
+  Buffer.add_string buf "$timescale 1ns $end\n";
+  Buffer.add_string buf (Printf.sprintf "$scope module %s $end\n" scope);
+  let codes = List.mapi (fun i id -> id, code_of_index i) nodes in
+  List.iter
+    (fun (id, code) ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire 1 %s %s $end\n" code
+           (Circuit.node circuit id).Circuit.name))
+    codes;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let sim = Goodsim.create circuit in
+  let last = Hashtbl.create (List.length nodes) in
+  Array.iteri
+    (fun t vec ->
+      Goodsim.step sim vec;
+      let header = ref false in
+      List.iter
+        (fun (id, code) ->
+          let v = Goodsim.value sim id in
+          let changed =
+            match Hashtbl.find_opt last id with
+            | Some prev -> not (Logic.equal prev v)
+            | None -> true
+          in
+          if changed then begin
+            if not !header then begin
+              Buffer.add_string buf (Printf.sprintf "#%d\n" t);
+              header := true
+            end;
+            Hashtbl.replace last id v;
+            Buffer.add_string buf (Printf.sprintf "%c%s\n" (vcd_char v) code)
+          end)
+        codes)
+    seq;
+  Buffer.add_string buf (Printf.sprintf "#%d\n" (Array.length seq));
+  Buffer.contents buf
+
+let dump_nodes ?scope circuit seq ~nodes =
+  List.iter (fun id -> ignore (Circuit.node circuit id)) nodes;
+  render ?scope circuit seq nodes
+
+let dump ?scope circuit seq =
+  let nodes = List.init (Circuit.node_count circuit) Fun.id in
+  render ?scope circuit seq nodes
+
+let write_file path ?scope circuit seq =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (dump ?scope circuit seq))

@@ -1,0 +1,19 @@
+(** VCD (Value Change Dump, IEEE 1364) export of a simulation run.
+
+    [dump circuit seq] simulates the fault-free machine from power-up and
+    records every node's waveform, one timestep per vector.  The output
+    loads in any waveform viewer (GTKWave etc.), which is the quickest way
+    to understand why a generated sequence detects — or misses — a fault.
+
+    Three-valued signals map directly: [X] is VCD's [x]. *)
+
+(** [dump ?scope circuit seq] renders the full VCD text.  [scope] names the
+    enclosing module scope (default: the circuit name). *)
+val dump : ?scope:string -> Netlist.Circuit.t -> Vectors.t -> string
+
+(** [dump_nodes ?scope circuit seq ~nodes] restricts the dump to chosen
+    node ids (plus time).  @raise Invalid_argument on an unknown id. *)
+val dump_nodes :
+  ?scope:string -> Netlist.Circuit.t -> Vectors.t -> nodes:int list -> string
+
+val write_file : string -> ?scope:string -> Netlist.Circuit.t -> Vectors.t -> unit

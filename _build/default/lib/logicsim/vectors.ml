@@ -1,0 +1,31 @@
+module Logic = Netlist.Logic
+
+type vector = Logic.t array
+type t = vector array
+
+let parse s = Array.init (String.length s) (fun i -> Logic.of_char s.[i])
+let to_string v = String.init (Array.length v) (fun i -> Logic.to_char v.(i))
+
+let random rng ~width =
+  Array.init width (fun _ -> Logic.of_bool (Prng.Rng.bool rng))
+
+let random_seq rng ~width ~length = Array.init length (fun _ -> random rng ~width)
+
+let specified_with rng v =
+  Array.map
+    (function
+      | Logic.X -> Logic.of_bool (Prng.Rng.bool rng)
+      | b -> b)
+    v
+
+let fill_x rng seq = Array.map (specified_with rng) seq
+let concat a b = Array.append a b
+let copy seq = Array.map Array.copy seq
+
+let count seq ~position ~value =
+  Array.fold_left
+    (fun acc v -> if Logic.equal v.(position) value then acc + 1 else acc)
+    0 seq
+
+let pp fmt seq =
+  Array.iteri (fun i v -> Format.fprintf fmt "%4d  %s@." i (to_string v)) seq

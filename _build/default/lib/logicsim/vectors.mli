@@ -1,0 +1,37 @@
+(** Input vectors and test sequences.
+
+    A vector assigns a three-valued value to every primary input of a
+    circuit (in [Circuit.inputs] order); a sequence is an array of vectors,
+    one per clock cycle.  Sequences are the universal currency of this
+    project: the unified approach represents scan operations as ordinary
+    vectors inside them. *)
+
+type vector = Netlist.Logic.t array
+type t = vector array
+
+(** [parse "01x1"] builds a vector.  @raise Invalid_argument on characters
+    outside [0], [1], [x], [X]. *)
+val parse : string -> vector
+
+val to_string : vector -> string
+
+(** [random rng ~width] draws a uniformly random fully-specified vector. *)
+val random : Prng.Rng.t -> width:int -> vector
+
+val random_seq : Prng.Rng.t -> width:int -> length:int -> t
+
+(** [fill_x rng seq] replaces every [X] with a random binary value (fresh
+    arrays; [seq] is not mutated). *)
+val fill_x : Prng.Rng.t -> t -> t
+
+(** [specified_with rng v] replaces [X] entries of a single vector. *)
+val specified_with : Prng.Rng.t -> vector -> vector
+
+val concat : t -> t -> t
+val copy : t -> t
+
+(** [count seq ~position ~value] counts vectors whose [position]-th entry
+    equals [value] — e.g. the number of cycles with [scan_sel = 1]. *)
+val count : t -> position:int -> value:Netlist.Logic.t -> int
+
+val pp : Format.formatter -> t -> unit

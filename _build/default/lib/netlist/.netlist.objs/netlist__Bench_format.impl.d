@@ -1,0 +1,1 @@
+lib/netlist/bench_format.ml: Array Buffer Circuit Filename Format Fun Gate List Printf String

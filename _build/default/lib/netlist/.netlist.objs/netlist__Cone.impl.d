@@ -1,0 +1,1 @@
+lib/netlist/cone.ml: Array Circuit Gate Hashtbl List

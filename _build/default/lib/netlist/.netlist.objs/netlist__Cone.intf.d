@@ -1,0 +1,1 @@
+lib/netlist/cone.mli: Circuit

@@ -1,0 +1,1 @@
+lib/netlist/levelize.ml: Array Circuit Fun Gate List

@@ -1,0 +1,1 @@
+lib/netlist/scoap.ml: Array Circuit Format Gate Levelize

@@ -1,0 +1,1 @@
+lib/netlist/scoap.mli: Circuit Format

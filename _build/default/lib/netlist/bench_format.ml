@@ -1,0 +1,105 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let strip s =
+  let is_space c = c = ' ' || c = '\t' || c = '\r' in
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_space s.[!i] do incr i done;
+  while !j >= !i && is_space s.[!j] do decr j done;
+  String.sub s !i (!j - !i + 1)
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+(* "KIND(a, b, c)" -> (KIND, [a; b; c]) *)
+let parse_call lineno s =
+  match String.index_opt s '(' with
+  | None -> fail lineno "expected '(' in %S" s
+  | Some lp ->
+    if s.[String.length s - 1] <> ')' then fail lineno "expected ')' in %S" s;
+    let head = strip (String.sub s 0 lp) in
+    let inner = String.sub s (lp + 1) (String.length s - lp - 2) in
+    let args =
+      if strip inner = "" then []
+      else List.map strip (String.split_on_char ',' inner)
+    in
+    List.iter (fun a -> if a = "" then fail lineno "empty argument in %S" s) args;
+    head, args
+
+let parse_string ~name text =
+  let b = Circuit.Builder.create ~name () in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = strip (strip_comment raw) in
+      if line <> "" then
+        match String.index_opt line '=' with
+        | Some eq ->
+          let lhs = strip (String.sub line 0 eq) in
+          let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
+          if lhs = "" then fail lineno "missing signal name";
+          let kind_s, args = parse_call lineno rhs in
+          (match Gate.of_string kind_s with
+           | Some Gate.Input -> fail lineno "INPUT cannot appear on a gate right-hand side"
+           | Some kind -> Circuit.Builder.add_gate b lhs kind args
+           | None -> fail lineno "unknown gate kind %S" kind_s)
+        | None ->
+          let head, args = parse_call lineno line in
+          (match String.uppercase_ascii head, args with
+           | "INPUT", [ a ] -> Circuit.Builder.add_input b a
+           | "OUTPUT", [ a ] -> Circuit.Builder.add_output b a
+           | ("INPUT" | "OUTPUT"), _ -> fail lineno "%s takes exactly one signal" head
+           | _ -> fail lineno "expected INPUT/OUTPUT declaration, got %S" head))
+    lines;
+  Circuit.Builder.build b
+
+let parse_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let base = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name:base text
+
+let to_string c =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" (Circuit.name c));
+  Array.iter
+    (fun i -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Circuit.node c i).Circuit.name))
+    (Circuit.inputs c);
+  Array.iter
+    (fun o -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (Circuit.node c o).Circuit.name))
+    (Circuit.outputs c);
+  let emit nd =
+    let fanins =
+      String.concat ", "
+        (List.map (fun f -> (Circuit.node c f).Circuit.name) (Array.to_list nd.Circuit.fanins))
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s = %s(%s)\n" nd.Circuit.name (Gate.to_string nd.Circuit.kind) fanins)
+  in
+  Array.iter (fun nd ->
+      match nd.Circuit.kind with
+      | Gate.Dff -> emit nd
+      | _ -> ())
+    (Circuit.nodes c);
+  Array.iter (fun nd ->
+      match nd.Circuit.kind with
+      | Gate.Input | Gate.Dff -> ()
+      | _ -> emit nd)
+    (Circuit.nodes c);
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string c))

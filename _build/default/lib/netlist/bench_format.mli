@@ -1,0 +1,27 @@
+(** Reader and writer for the ISCAS-89 [.bench] netlist format, extended
+    with a [MUX(sel, a, b)] primitive (used by scan insertion).
+
+    Grammar (one item per line, [#] starts a comment):
+    {v
+      INPUT(name)
+      OUTPUT(name)
+      name = KIND(fanin1, fanin2, ...)
+    v}
+    [KIND] is case-insensitive; [BUFF] is accepted for [BUF]. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** [parse_string ~name s] builds a circuit from [.bench] text.
+    @raise Parse_error on malformed text.
+    @raise Circuit.Invalid_circuit on structurally invalid netlists. *)
+val parse_string : name:string -> string -> Circuit.t
+
+(** [parse_file path] reads and parses [path]; the circuit is named after the
+    file's basename without extension. *)
+val parse_file : string -> Circuit.t
+
+(** [to_string c] renders [c] in [.bench] syntax: inputs, then outputs, then
+    DFFs, then combinational gates in declaration order. *)
+val to_string : Circuit.t -> string
+
+val write_file : string -> Circuit.t -> unit

@@ -1,0 +1,203 @@
+exception Invalid_circuit of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_circuit s)) fmt
+
+type node = {
+  id : int;
+  name : string;
+  kind : Gate.kind;
+  fanins : int array;
+}
+
+type t = {
+  circuit_name : string;
+  nodes : node array;
+  inputs : int array;
+  outputs : int array;
+  dffs : int array;
+  fanouts : int array array;
+  by_name : (string, int) Hashtbl.t;
+  output_set : bool array;
+  pin_fanout : int array;  (* fanin pins driven + output observations *)
+}
+
+module Builder = struct
+  type proto = {
+    p_name : string;
+    p_kind : Gate.kind;
+    p_fanins : string list;
+  }
+
+  type b = {
+    mutable protos : proto list;  (* reversed *)
+    mutable outs : string list;  (* reversed *)
+    tbl : (string, unit) Hashtbl.t;
+    bname : string;
+  }
+
+  type t = b
+
+  let create ?(name = "circuit") () =
+    { protos = []; outs = []; tbl = Hashtbl.create 64; bname = name }
+
+  let declare b name kind fanins =
+    if Hashtbl.mem b.tbl name then invalid "duplicate signal %S" name;
+    Hashtbl.add b.tbl name ();
+    b.protos <- { p_name = name; p_kind = kind; p_fanins = fanins } :: b.protos
+
+  let add_input b name = declare b name Gate.Input []
+
+  let add_gate b name kind fanins =
+    (match kind with
+     | Gate.Input -> invalid "use add_input for %S" name
+     | _ -> ());
+    declare b name kind fanins
+
+  let add_output b name = b.outs <- name :: b.outs
+
+  let build b =
+    let protos = Array.of_list (List.rev b.protos) in
+    let n = Array.length protos in
+    let by_name = Hashtbl.create (2 * n) in
+    Array.iteri (fun i p -> Hashtbl.replace by_name p.p_name i) protos;
+    let resolve ctx s =
+      match Hashtbl.find_opt by_name s with
+      | Some i -> i
+      | None -> invalid "%s references undeclared signal %S" ctx s
+    in
+    let nodes =
+      Array.mapi
+        (fun i p ->
+          let fanins = Array.of_list (List.map (resolve p.p_name) p.p_fanins) in
+          let nf = Array.length fanins in
+          (match Gate.arity p.p_kind with
+           | Some a when a <> nf ->
+             invalid "%S: %s expects %d fanins, got %d" p.p_name
+               (Gate.to_string p.p_kind) a nf
+           | Some _ -> ()
+           | None ->
+             if nf < 2 then
+               invalid "%S: %s expects >= 2 fanins, got %d" p.p_name
+                 (Gate.to_string p.p_kind) nf);
+          { id = i; name = p.p_name; kind = p.p_kind; fanins })
+        protos
+    in
+    let outputs =
+      Array.of_list (List.rev_map (resolve "OUTPUT list") b.outs)
+    in
+    let output_set = Array.make n false in
+    Array.iter
+      (fun o ->
+        if output_set.(o) then invalid "duplicate OUTPUT %S" nodes.(o).name;
+        output_set.(o) <- true)
+      outputs;
+    let inputs, dffs =
+      let ins = ref [] and ffs = ref [] in
+      Array.iter
+        (fun nd ->
+          match nd.kind with
+          | Gate.Input -> ins := nd.id :: !ins
+          | Gate.Dff -> ffs := nd.id :: !ffs
+          | _ -> ())
+        nodes;
+      Array.of_list (List.rev !ins), Array.of_list (List.rev !ffs)
+    in
+    (* Combinational acyclicity: DFS over fanins, treating Input/Dff as
+       sources.  0 = white, 1 = on stack, 2 = done. *)
+    let mark = Array.make n 0 in
+    let rec visit i =
+      match nodes.(i).kind with
+      | Gate.Input | Gate.Dff -> ()
+      | _ ->
+        if mark.(i) = 1 then
+          invalid "combinational cycle through %S" nodes.(i).name;
+        if mark.(i) = 0 then begin
+          mark.(i) <- 1;
+          Array.iter visit nodes.(i).fanins;
+          mark.(i) <- 2
+        end
+    in
+    Array.iteri (fun i _ -> visit i) nodes;
+    let fanout_lists = Array.make n [] in
+    let pin_fanout = Array.make n 0 in
+    Array.iter
+      (fun nd ->
+        let seen = Hashtbl.create 4 in
+        Array.iter
+          (fun f ->
+            pin_fanout.(f) <- pin_fanout.(f) + 1;
+            if not (Hashtbl.mem seen f) then begin
+              Hashtbl.add seen f ();
+              fanout_lists.(f) <- nd.id :: fanout_lists.(f)
+            end)
+          nd.fanins)
+      nodes;
+    Array.iter (fun o -> pin_fanout.(o) <- pin_fanout.(o) + 1) outputs;
+    let fanouts =
+      Array.map (fun l -> Array.of_list (List.rev l)) fanout_lists
+    in
+    {
+      circuit_name = b.bname;
+      nodes;
+      inputs;
+      outputs;
+      dffs;
+      fanouts;
+      by_name;
+      output_set;
+      pin_fanout;
+    }
+end
+
+let name c = c.circuit_name
+let node_count c = Array.length c.nodes
+
+let node c i =
+  if i < 0 || i >= Array.length c.nodes then
+    invalid_arg (Printf.sprintf "Circuit.node: id %d out of range" i);
+  c.nodes.(i)
+
+let nodes c = c.nodes
+let inputs c = c.inputs
+let outputs c = c.outputs
+let dffs c = c.dffs
+let fanout c i = c.fanouts.(i)
+let fanout_count c i = c.pin_fanout.(i)
+let find c s = Hashtbl.find_opt c.by_name s
+
+let id_of_name_exn c s =
+  match find c s with
+  | Some i -> i
+  | None -> raise Not_found
+
+let is_output c i = c.output_set.(i)
+let is_input c i = c.nodes.(i).kind = Gate.Input
+let is_dff c i = c.nodes.(i).kind = Gate.Dff
+let input_count c = Array.length c.inputs
+let output_count c = Array.length c.outputs
+let dff_count c = Array.length c.dffs
+
+let gate_count c =
+  Array.fold_left
+    (fun acc nd ->
+      match nd.kind with
+      | Gate.Input | Gate.Dff -> acc
+      | _ -> acc + 1)
+    0 c.nodes
+
+let remap c ~rename =
+  let b = Builder.create ~name:c.circuit_name () in
+  Array.iter
+    (fun nd ->
+      let fanins = List.map (fun f -> rename c.nodes.(f).name) (Array.to_list nd.fanins) in
+      match nd.kind with
+      | Gate.Input -> Builder.add_input b (rename nd.name)
+      | k -> Builder.add_gate b (rename nd.name) k fanins)
+    c.nodes;
+  Array.iter (fun o -> Builder.add_output b (rename c.nodes.(o).name)) c.outputs;
+  Builder.build b
+
+let pp_summary fmt c =
+  Format.fprintf fmt "%s: %d inputs, %d outputs, %d DFFs, %d gates (%d nodes)"
+    c.circuit_name (input_count c) (output_count c) (dff_count c)
+    (gate_count c) (node_count c)

@@ -1,0 +1,105 @@
+(** Gate-level sequential netlists.
+
+    A circuit is a flat array of named nodes.  Node [id]s are dense and
+    stable; [Input] and [Dff] nodes are the sources of the combinational
+    graph ([Dff] ids denote the flip-flop *outputs*, i.e. present-state
+    variables), every other node is a combinational gate.  A circuit also
+    records which node values are observed as primary outputs.
+
+    Circuits are immutable once built.  Use {!Builder} to construct one;
+    [Builder.build] validates arities, reference integrity and combinational
+    acyclicity. *)
+
+exception Invalid_circuit of string
+
+type node = private {
+  id : int;
+  name : string;
+  kind : Gate.kind;
+  fanins : int array;  (** ids of driver nodes, in pin order *)
+}
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type circuit := t
+  type t
+
+  val create : ?name:string -> unit -> t
+
+  (** [add_input b name] declares a primary input.  Inputs appear in the
+      built circuit in declaration order. *)
+  val add_input : t -> string -> unit
+
+  (** [add_gate b name kind fanins] declares a gate (or a [Dff]) driven by
+      the signals named [fanins].  Forward references are allowed: a fanin
+      may be declared later.
+      @raise Invalid_circuit on duplicate signal names. *)
+  val add_gate : t -> string -> Gate.kind -> string list -> unit
+
+  (** [add_output b name] marks signal [name] as a primary output.  The same
+      signal may be both internal and observed.  Declaration order is kept. *)
+  val add_output : t -> string -> unit
+
+  (** Validates and freezes the circuit.
+      @raise Invalid_circuit on dangling references, arity violations,
+      duplicate outputs, or combinational cycles (cycles through [Dff]s are
+      legal). *)
+  val build : t -> circuit
+end
+
+(** {1 Accessors} *)
+
+val name : t -> string
+val node_count : t -> int
+
+(** @raise Invalid_argument when [id] is out of range. *)
+val node : t -> int -> node
+
+val nodes : t -> node array
+
+(** Primary input node ids, in declaration order. *)
+val inputs : t -> int array
+
+(** Observed node ids, in declaration order. *)
+val outputs : t -> int array
+
+(** Flip-flop node ids, in declaration order (this order defines the scan
+    chain order used by scan insertion). *)
+val dffs : t -> int array
+
+(** [fanout c id] is the array of node ids having [id] among their fanins
+    (with multiplicity collapsed; a gate appears once even if [id] feeds two
+    of its pins). *)
+val fanout : t -> int -> int array
+
+(** [fanout_count c id] counts fanin *pins* driven by [id] plus one per
+    primary-output observation — the electrical fanout used by the fault
+    model. *)
+val fanout_count : t -> int -> int
+
+val find : t -> string -> int option
+
+(** @raise Not_found when no signal has this name. *)
+val id_of_name_exn : t -> string -> int
+
+val is_output : t -> int -> bool
+val is_input : t -> int -> bool
+val is_dff : t -> int -> bool
+
+(** {1 Derived counts} *)
+
+val input_count : t -> int
+val output_count : t -> int
+val dff_count : t -> int
+val gate_count : t -> int  (** nodes that are neither [Input] nor [Dff] *)
+
+(** {1 Rewriting} *)
+
+(** [remap c ~rename] returns a copy of [c] with every node name passed
+    through [rename].  @raise Invalid_circuit if [rename] causes a clash. *)
+val remap : t -> rename:(string -> string) -> t
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+let fanin_cone c ~sequential roots =
+  let seen = Hashtbl.create 64 in
+  let rec visit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      let nd = Circuit.node c id in
+      match nd.Circuit.kind with
+      | Gate.Input -> ()
+      | Gate.Dff -> if sequential then Array.iter visit nd.Circuit.fanins
+      | _ -> Array.iter visit nd.Circuit.fanins
+    end
+  in
+  List.iter visit roots;
+  List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) seen [])
+
+let extract c ~roots ~name =
+  if roots = [] then invalid_arg "Cone.extract: empty roots";
+  List.iter
+    (fun r ->
+      match (Circuit.node c r).Circuit.kind with
+      | Gate.Input | Gate.Dff -> invalid_arg "Cone.extract: root is a source"
+      | _ -> ())
+    roots;
+  let cone = fanin_cone c ~sequential:false roots in
+  let b = Circuit.Builder.create ~name () in
+  let node_name id = (Circuit.node c id).Circuit.name in
+  (* Sources of the cone (PIs and crossed flip-flop outputs) become primary
+     inputs, in original id order for determinism. *)
+  List.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      match nd.Circuit.kind with
+      | Gate.Input | Gate.Dff -> Circuit.Builder.add_input b nd.Circuit.name
+      | _ -> ())
+    cone;
+  List.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      match nd.Circuit.kind with
+      | Gate.Input | Gate.Dff -> ()
+      | k ->
+        Circuit.Builder.add_gate b nd.Circuit.name k
+          (List.map node_name (Array.to_list nd.Circuit.fanins)))
+    cone;
+  List.iter (fun r -> Circuit.Builder.add_output b (node_name r)) roots;
+  Circuit.Builder.build b

@@ -1,0 +1,21 @@
+(** Structural cones and sub-circuit extraction.
+
+    The fan-in cone of a set of nodes is everything that can influence them;
+    extracting it as a standalone combinational circuit (with the crossed
+    flip-flop outputs and primary inputs as its inputs) is the standard way
+    to isolate the logic relevant to one output or one fault site for
+    debugging and reporting. *)
+
+(** [fanin_cone c ~sequential roots] is the set of node ids reachable
+    backwards from [roots] (inclusive).  With [sequential = false] the walk
+    stops at flip-flop outputs (they are cone inputs); with
+    [sequential = true] it continues through the flip-flops' data inputs.
+    The result is sorted. *)
+val fanin_cone : Circuit.t -> sequential:bool -> int list -> int list
+
+(** [extract c ~roots ~name] builds the combinational fan-in cone of
+    [roots] as a standalone circuit: every primary input and flip-flop
+    output feeding the cone becomes a primary input (flip-flops keep their
+    names), the roots become the outputs.  Node names are preserved.
+    @raise Invalid_argument when [roots] is empty or contains sources. *)
+val extract : Circuit.t -> roots:int list -> name:string -> Circuit.t

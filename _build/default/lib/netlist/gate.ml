@@ -1,0 +1,92 @@
+type kind =
+  | Input
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+  | Mux
+  | Dff
+
+let equal_kind (a : kind) (b : kind) = a = b
+
+let arity = function
+  | Input -> Some 0
+  | Buf | Not | Dff -> Some 1
+  | Mux -> Some 3
+  | And | Nand | Or | Nor | Xor | Xnor -> None
+
+let to_string = function
+  | Input -> "INPUT"
+  | Buf -> "BUF"
+  | Not -> "NOT"
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Mux -> "MUX"
+  | Dff -> "DFF"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "INPUT" -> Some Input
+  | "BUF" | "BUFF" -> Some Buf
+  | "NOT" -> Some Not
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | "MUX" -> Some Mux
+  | "DFF" -> Some Dff
+  | _ -> None
+
+let check_arity k n =
+  match arity k with
+  | Some a when a <> n ->
+    invalid_arg
+      (Printf.sprintf "Gate.eval: %s expects %d fanins, got %d" (to_string k) a n)
+  | Some _ -> ()
+  | None ->
+    if n < 2 then
+      invalid_arg
+        (Printf.sprintf "Gate.eval: %s expects >= 2 fanins, got %d" (to_string k) n)
+
+let fold_assoc op (args : Logic.t array) =
+  let acc = ref args.(0) in
+  for i = 1 to Array.length args - 1 do
+    acc := op !acc args.(i)
+  done;
+  !acc
+
+let eval k (args : Logic.t array) =
+  let n = Array.length args in
+  check_arity k n;
+  match k with
+  | Input | Dff -> invalid_arg "Gate.eval: source node"
+  | Buf -> args.(0)
+  | Not -> Logic.bnot args.(0)
+  | And -> fold_assoc Logic.band args
+  | Nand -> Logic.bnot (fold_assoc Logic.band args)
+  | Or -> fold_assoc Logic.bor args
+  | Nor -> Logic.bnot (fold_assoc Logic.bor args)
+  | Xor -> fold_assoc Logic.bxor args
+  | Xnor -> Logic.bnot (fold_assoc Logic.bxor args)
+  | Mux -> Logic.mux args.(0) args.(1) args.(2)
+
+let controlling = function
+  | And | Nand -> Some Logic.Zero
+  | Or | Nor -> Some Logic.One
+  | Input | Buf | Not | Xor | Xnor | Mux | Dff -> None
+
+let inversion = function
+  | Not | Nand | Nor | Xnor -> true
+  | Input | Buf | And | Or | Xor | Mux | Dff -> false
+
+let pp_kind fmt k = Format.pp_print_string fmt (to_string k)

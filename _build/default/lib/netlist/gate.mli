@@ -1,0 +1,51 @@
+(** Gate primitives and their three-valued semantics.
+
+    The primitive set is the ISCAS-89 [.bench] set extended with a
+    three-input multiplexer, which scan insertion places in front of every
+    scan flip-flop.  A [Dff] node represents the flip-flop *output* (present
+    state); its single fanin is the next-state data input sampled at each
+    clock. *)
+
+type kind =
+  | Input  (** primary input; no fanins *)
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+  | Mux  (** fanins [[|sel; a; b|]]: output is [a] when [sel=0], [b] when [sel=1] *)
+  | Dff  (** state element; fanin [[|d|]] is the next-state input *)
+
+val equal_kind : kind -> kind -> bool
+
+(** [arity k] is [Some n] when kind [k] requires exactly [n] fanins, and
+    [None] for the n-ary gates ([And], [Nand], [Or], [Nor], [Xor], [Xnor])
+    which accept two or more. *)
+val arity : kind -> int option
+
+(** Canonical upper-case [.bench] mnemonic ([AND], [DFF], ...). *)
+val to_string : kind -> string
+
+(** Inverse of {!to_string}, case-insensitive.  [BUFF] is accepted as an
+    alias for [BUF]. *)
+val of_string : string -> kind option
+
+(** [eval k args] evaluates a combinational gate of kind [k] over
+    three-valued inputs.  [Input] and [Dff] are sources and must not be
+    evaluated here.
+    @raise Invalid_argument on [Input], [Dff], or an arity violation. *)
+val eval : kind -> Logic.t array -> Logic.t
+
+(** [controlling k] is [Some c] when a single input at value [c] fixes the
+    gate output regardless of the other inputs ([And]/[Nand]: 0, [Or]/[Nor]:
+    1); [None] otherwise. *)
+val controlling : kind -> Logic.t option
+
+(** [inversion k] is [true] when the gate output inverts with respect to its
+    (non-controlling) inputs: [Not], [Nand], [Nor], [Xnor]. *)
+val inversion : kind -> bool
+
+val pp_kind : Format.formatter -> kind -> unit

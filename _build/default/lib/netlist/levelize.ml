@@ -1,0 +1,51 @@
+type t = {
+  order : int array;
+  level : int array;
+  depth : int;
+}
+
+let of_circuit c =
+  let n = Circuit.node_count c in
+  let level = Array.make n (-1) in
+  let rec level_of i =
+    if level.(i) >= 0 then level.(i)
+    else begin
+      let nd = Circuit.node c i in
+      let l =
+        match nd.Circuit.kind with
+        | Gate.Input | Gate.Dff -> 0
+        | _ ->
+          1 + Array.fold_left (fun acc f -> max acc (level_of f)) (-1) nd.Circuit.fanins
+      in
+      level.(i) <- l;
+      l
+    end
+  in
+  let depth = ref 0 in
+  for i = 0 to n - 1 do
+    depth := max !depth (level_of i)
+  done;
+  let combinational =
+    Array.of_list
+      (List.filter
+         (fun i ->
+           match (Circuit.node c i).Circuit.kind with
+           | Gate.Input | Gate.Dff -> false
+           | _ -> true)
+         (List.init n Fun.id))
+  in
+  (* Stable sort by level keeps declaration order within a level, which in
+     turn keeps simulation traces reproducible across runs. *)
+  let order = Array.copy combinational in
+  Array.stable_sort (fun a b -> compare level.(a) level.(b)) order;
+  { order; level; depth = !depth }
+
+let output_level t c =
+  let acc = ref 0 in
+  Array.iter (fun o -> acc := max !acc t.level.(o)) (Circuit.outputs c);
+  Array.iter
+    (fun ff ->
+      let d = (Circuit.node c ff).Circuit.fanins.(0) in
+      acc := max !acc t.level.(d))
+    (Circuit.dffs c);
+  !acc

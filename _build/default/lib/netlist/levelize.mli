@@ -1,0 +1,18 @@
+(** Levelization of the combinational core of a circuit.
+
+    Sources ([Input] nodes and [Dff] outputs) sit at level 0; every
+    combinational gate gets level [1 + max(level of fanins)].  [order] lists
+    the combinational gates in a valid evaluation order (non-decreasing
+    level), which the simulators and the ATPG engine replay. *)
+
+type t = private {
+  order : int array;  (** combinational gate ids in evaluation order *)
+  level : int array;  (** per node id; 0 for sources *)
+  depth : int;  (** maximum level *)
+}
+
+val of_circuit : Circuit.t -> t
+
+(** [output_level lv c] is the maximum level over observed nodes and DFF
+    data inputs — the depth that bounds signal propagation in one frame. *)
+val output_level : t -> Circuit.t -> int

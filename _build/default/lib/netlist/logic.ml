@@ -1,0 +1,64 @@
+type t =
+  | Zero
+  | One
+  | X
+
+let equal a b =
+  match a, b with
+  | Zero, Zero | One, One | X, X -> true
+  | (Zero | One | X), _ -> false
+
+let is_binary = function
+  | Zero | One -> true
+  | X -> false
+
+let of_bool b = if b then One else Zero
+
+let to_bool = function
+  | Zero -> Some false
+  | One -> Some true
+  | X -> None
+
+let of_char = function
+  | '0' -> Zero
+  | '1' -> One
+  | 'x' | 'X' -> X
+  | c -> invalid_arg (Printf.sprintf "Logic.of_char: %C" c)
+
+let to_char = function
+  | Zero -> '0'
+  | One -> '1'
+  | X -> 'x'
+
+let bnot = function
+  | Zero -> One
+  | One -> Zero
+  | X -> X
+
+let band a b =
+  match a, b with
+  | Zero, _ | _, Zero -> Zero
+  | One, One -> One
+  | (One | X), (One | X) -> X
+
+let bor a b =
+  match a, b with
+  | One, _ | _, One -> One
+  | Zero, Zero -> Zero
+  | (Zero | X), (Zero | X) -> X
+
+let bxor a b =
+  match a, b with
+  | X, _ | _, X -> X
+  | Zero, Zero | One, One -> Zero
+  | Zero, One | One, Zero -> One
+
+let mux sel a b =
+  match sel with
+  | Zero -> a
+  | One -> b
+  | X ->
+    (* Pessimistic: only a common binary value survives an unknown select. *)
+    if equal a b && is_binary a then a else X
+
+let pp fmt v = Format.pp_print_char fmt (to_char v)

@@ -1,0 +1,39 @@
+(** Scalar three-valued logic.
+
+    The simulators and the test generator manipulate signals over the
+    three-valued domain [{0, 1, X}] where [X] stands for an unknown (or
+    unspecified) value.  The operations below implement the standard
+    pessimistic extension of Boolean operators to this domain. *)
+
+type t =
+  | Zero
+  | One
+  | X  (** unknown / don't-care *)
+
+val equal : t -> t -> bool
+
+(** [is_binary v] is [true] iff [v] is [Zero] or [One]. *)
+val is_binary : t -> bool
+
+val of_bool : bool -> t
+
+(** [to_bool v] is [Some b] when [v] is binary and [None] for [X]. *)
+val to_bool : t -> bool option
+
+(** [of_char c] parses ['0'], ['1'], ['x'] or ['X'].
+    @raise Invalid_argument on any other character. *)
+val of_char : char -> t
+
+val to_char : t -> char
+
+val bnot : t -> t
+val band : t -> t -> t
+val bor : t -> t -> t
+val bxor : t -> t -> t
+
+(** [mux sel a b] is [a] when [sel = Zero] and [b] when [sel = One].  When
+    [sel = X] the result is the common value of [a] and [b] if they agree on
+    a binary value, and [X] otherwise. *)
+val mux : t -> t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,174 @@
+type t = {
+  cc0 : int array;
+  cc1 : int array;
+  co : int array;
+}
+
+let infinite = 1 lsl 28
+
+let sat_add a b = min infinite (a + b)
+
+let sat_sum3 a b c = min infinite (min infinite (a + b) + c)
+
+type work = {
+  c : Circuit.t;
+  order : int array;
+  w0 : int array;
+  w1 : int array;
+}
+
+(* One forward controllability pass; returns true if anything changed. *)
+let cc_pass ({ c; order; w0; w1 } : work) =
+  let changed = ref false in
+  let update n v0 v1 =
+    if v0 < w0.(n) then begin
+      w0.(n) <- v0;
+      changed := true
+    end;
+    if v1 < w1.(n) then begin
+      w1.(n) <- v1;
+      changed := true
+    end
+  in
+  (* Flip-flops first: their outputs depend on the previous iteration's
+     data-input values, plus one sequential unit. *)
+  Array.iter
+    (fun ff ->
+      let d = (Circuit.node c ff).Circuit.fanins.(0) in
+      update ff (sat_add w0.(d) 1) (sat_add w1.(d) 1))
+    (Circuit.dffs c);
+  Array.iter
+    (fun n ->
+      let nd = Circuit.node c n in
+      let f = nd.Circuit.fanins in
+      let v0, v1 =
+        match nd.Circuit.kind with
+        | Gate.Buf -> w0.(f.(0)), w1.(f.(0))
+        | Gate.Not -> w1.(f.(0)), w0.(f.(0))
+        | Gate.And | Gate.Nand ->
+          let all1 = Array.fold_left (fun acc i -> sat_add acc w1.(i)) 0 f in
+          let any0 = Array.fold_left (fun acc i -> min acc w0.(i)) infinite f in
+          if nd.Circuit.kind = Gate.And then any0, all1 else all1, any0
+        | Gate.Or | Gate.Nor ->
+          let all0 = Array.fold_left (fun acc i -> sat_add acc w0.(i)) 0 f in
+          let any1 = Array.fold_left (fun acc i -> min acc w1.(i)) infinite f in
+          if nd.Circuit.kind = Gate.Or then all0, any1 else any1, all0
+        | Gate.Xor | Gate.Xnor ->
+          (* Fold pairwise: cost of parity 0 / parity 1. *)
+          let p0 = ref w0.(f.(0)) and p1 = ref w1.(f.(0)) in
+          for i = 1 to Array.length f - 1 do
+            let q0 = w0.(f.(i)) and q1 = w1.(f.(i)) in
+            let n0 = min (sat_add !p0 q0) (sat_add !p1 q1) in
+            let n1 = min (sat_add !p0 q1) (sat_add !p1 q0) in
+            p0 := n0;
+            p1 := n1
+          done;
+          if nd.Circuit.kind = Gate.Xor then !p0, !p1 else !p1, !p0
+        | Gate.Mux ->
+          let s = f.(0) and a = f.(1) and b = f.(2) in
+          ( min (sat_add w0.(s) w0.(a)) (sat_add w1.(s) w0.(b)),
+            min (sat_add w0.(s) w1.(a)) (sat_add w1.(s) w1.(b)) )
+        | Gate.Input | Gate.Dff -> w0.(n), w1.(n)
+      in
+      match nd.Circuit.kind with
+      | Gate.Input | Gate.Dff -> ()
+      | _ -> update n (sat_add v0 1) (sat_add v1 1))
+    order;
+  !changed
+
+(* One backward observability pass over [co]; returns true on change. *)
+let co_pass (c : Circuit.t) order (cc0 : int array) (cc1 : int array)
+    (co : int array) =
+  let changed = ref false in
+  let update n v =
+    if v < co.(n) then begin
+      co.(n) <- v;
+      changed := true
+    end
+  in
+  Array.iter (fun o -> update o 0) (Circuit.outputs c);
+  (* Flip-flops: observing the data input means observing the flip-flop
+     output one cycle later. *)
+  Array.iter
+    (fun ff ->
+      let d = (Circuit.node c ff).Circuit.fanins.(0) in
+      update d (sat_add co.(ff) 1))
+    (Circuit.dffs c);
+  (* Gates in reverse topological order. *)
+  for i = Array.length order - 1 downto 0 do
+    let n = order.(i) in
+    let nd = Circuit.node c n in
+    let f = nd.Circuit.fanins in
+    let base = co.(n) in
+    if base < infinite then
+      match nd.Circuit.kind with
+      | Gate.Buf | Gate.Not -> update f.(0) (sat_add base 1)
+      | Gate.And | Gate.Nand ->
+        Array.iteri
+          (fun i_pin pin ->
+            let side = ref 0 in
+            Array.iteri
+              (fun j other -> if j <> i_pin then side := sat_add !side cc1.(other))
+              f;
+            update pin (sat_sum3 base !side 1))
+          f
+      | Gate.Or | Gate.Nor ->
+        Array.iteri
+          (fun i_pin pin ->
+            let side = ref 0 in
+            Array.iteri
+              (fun j other -> if j <> i_pin then side := sat_add !side cc0.(other))
+              f;
+            update pin (sat_sum3 base !side 1))
+          f
+      | Gate.Xor | Gate.Xnor ->
+        Array.iteri
+          (fun i_pin pin ->
+            let side = ref 0 in
+            Array.iteri
+              (fun j other ->
+                if j <> i_pin then
+                  side := sat_add !side (min cc0.(other) cc1.(other)))
+              f;
+            update pin (sat_sum3 base !side 1))
+          f
+      | Gate.Mux ->
+        let s = f.(0) and a = f.(1) and b = f.(2) in
+        update a (sat_sum3 base cc0.(s) 1);
+        update b (sat_sum3 base cc1.(s) 1);
+        (* The select is observable when the data inputs differ. *)
+        let differ =
+          min (sat_add cc0.(a) cc1.(b)) (sat_add cc1.(a) cc0.(b))
+        in
+        update s (sat_sum3 base differ 1)
+      | Gate.Input | Gate.Dff -> ()
+  done;
+  !changed
+
+let compute c =
+  let n = Circuit.node_count c in
+  let lv = Levelize.of_circuit c in
+  let w0 = Array.make n infinite and w1 = Array.make n infinite in
+  Array.iter
+    (fun i ->
+      w0.(i) <- 1;
+      w1.(i) <- 1)
+    (Circuit.inputs c);
+  let work = { c; order = lv.Levelize.order; w0; w1 } in
+  (* Fixpoint: values only decrease and are bounded, so this terminates;
+     the iteration count is further capped defensively. *)
+  let cap = 4 + (2 * Circuit.dff_count c) in
+  let rec iterate k = if k < cap && cc_pass work then iterate (k + 1) in
+  iterate 0;
+  let co = Array.make n infinite in
+  let rec iterate_co k =
+    if k < cap && co_pass c lv.Levelize.order w0 w1 co then iterate_co (k + 1)
+  in
+  iterate_co 0;
+  { cc0 = w0; cc1 = w1; co }
+
+let cc t ~n ~v = if v then t.cc1.(n) else t.cc0.(n)
+
+let pp_node t c fmt n =
+  Format.fprintf fmt "%s: cc0=%d cc1=%d co=%d" (Circuit.node c n).Circuit.name
+    t.cc0.(n) t.cc1.(n) t.co.(n)

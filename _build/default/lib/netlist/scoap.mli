@@ -1,0 +1,30 @@
+(** SCOAP testability measures (Goldstein's controllability/observability).
+
+    [cc0]/[cc1] estimate how many input assignments/clock cycles are needed
+    to drive a node to 0/1; [co] estimates the effort to observe a node at
+    a primary output.  Sequential depth is handled by charging one extra
+    unit across every flip-flop and iterating to a fixpoint.  All values
+    saturate at {!infinite}; a node whose measure stays saturated is
+    structurally uncontrollable/unobservable.
+
+    The ATPG engine uses these as branch-ordering heuristics: pick the
+    easiest input when one controlling value suffices, the hardest first
+    when all inputs must be set, and extend the D-frontier through the most
+    observable gate. *)
+
+type t = private {
+  cc0 : int array;  (** per node id *)
+  cc1 : int array;
+  co : int array;
+}
+
+val infinite : int
+
+(** [compute c] iterates controllability forward and observability backward
+    until a fixpoint (bounded by the circuit's sequential depth). *)
+val compute : Circuit.t -> t
+
+(** Effort to set node [n] to binary value [v]. *)
+val cc : t -> n:int -> v:bool -> int
+
+val pp_node : t -> Circuit.t -> Format.formatter -> int -> unit

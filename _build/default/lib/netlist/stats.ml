@@ -1,0 +1,42 @@
+type t = {
+  inputs : int;
+  outputs : int;
+  dffs : int;
+  gates : int;
+  nodes : int;
+  depth : int;
+  pins : int;
+  max_fanout : int;
+  multi_fanout_stems : int;
+}
+
+let of_circuit c =
+  let lv = Levelize.of_circuit c in
+  let pins = ref 0 and max_fanout = ref 0 and multi = ref 0 in
+  Array.iter
+    (fun nd ->
+      (match nd.Circuit.kind with
+       | Gate.Input -> ()
+       | _ -> pins := !pins + Array.length nd.Circuit.fanins);
+      let fo = Circuit.fanout_count c nd.Circuit.id in
+      if fo > !max_fanout then max_fanout := fo;
+      if fo > 1 then incr multi)
+    (Circuit.nodes c);
+  {
+    inputs = Circuit.input_count c;
+    outputs = Circuit.output_count c;
+    dffs = Circuit.dff_count c;
+    gates = Circuit.gate_count c;
+    nodes = Circuit.node_count c;
+    depth = lv.Levelize.depth;
+    pins = !pins;
+    max_fanout = !max_fanout;
+    multi_fanout_stems = !multi;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>inputs: %d@ outputs: %d@ dffs: %d@ gates: %d@ nodes: %d@ depth: %d@ \
+     pins: %d@ max fanout: %d@ multi-fanout stems: %d@]"
+    s.inputs s.outputs s.dffs s.gates s.nodes s.depth s.pins s.max_fanout
+    s.multi_fanout_stems

@@ -1,0 +1,17 @@
+(** Structural statistics over a circuit, used by reports and by the
+    synthetic benchmark generator's self-checks. *)
+
+type t = {
+  inputs : int;
+  outputs : int;
+  dffs : int;
+  gates : int;
+  nodes : int;
+  depth : int;  (** combinational depth *)
+  pins : int;  (** total fanin pins of combinational gates and DFFs *)
+  max_fanout : int;
+  multi_fanout_stems : int;  (** nodes with electrical fanout > 1 *)
+}
+
+val of_circuit : Circuit.t -> t
+val pp : Format.formatter -> t -> unit

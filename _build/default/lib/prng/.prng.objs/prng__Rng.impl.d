@@ -1,0 +1,1 @@
+lib/prng/rng.ml: Array Char Int64 String

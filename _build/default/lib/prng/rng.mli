@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    All randomness in the project flows through named streams derived from a
+    root seed, so circuit generation, random vector fill and the bench
+    harness are fully reproducible. *)
+
+type t
+
+val create : int64 -> t
+
+(** [of_string seed label] derives a stream from a textual label — used to
+    give every (circuit, phase) pair an independent, stable stream. *)
+val of_string : int64 -> string -> t
+
+(** [split t] derives an independent child stream, advancing [t]. *)
+val split : t -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t n] draws uniformly from [\[0, n)].  @raise Invalid_argument if
+    [n <= 0]. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** [choose t arr] picks a uniform element.  @raise Invalid_argument on an
+    empty array. *)
+val choose : t -> 'a array -> 'a

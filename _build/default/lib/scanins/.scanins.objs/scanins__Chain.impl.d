@@ -1,0 +1,1 @@
+lib/scanins/chain.ml: Array

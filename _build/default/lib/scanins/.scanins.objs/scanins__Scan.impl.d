@@ -1,0 +1,1 @@
+lib/scanins/scan.ml: Array Chain Hashtbl List Netlist Printf

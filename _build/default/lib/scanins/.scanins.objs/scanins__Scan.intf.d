@@ -1,0 +1,1 @@
+lib/scanins/scan.mli: Chain Netlist

@@ -1,0 +1,1 @@
+lib/scanins/scan_test.ml: Array Format List Netlist String

@@ -1,0 +1,1 @@
+lib/scanins/scan_test.mli: Format Netlist

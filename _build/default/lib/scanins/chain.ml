@@ -1,0 +1,19 @@
+type t = {
+  index : int;
+  inp : int;
+  ffs : int array;
+}
+
+let length t = Array.length t.ffs
+
+let out_node t = t.ffs.(Array.length t.ffs - 1)
+
+let position t ff =
+  let rec find i =
+    if i >= Array.length t.ffs then raise Not_found
+    else if t.ffs.(i) = ff then i
+    else find (i + 1)
+  in
+  find 0
+
+let shifts_to_observe t ~position = length t - 1 - position

@@ -1,0 +1,28 @@
+(** Scan chain metadata.
+
+    Positions are 0-based with position 0 adjacent to the scan input: under
+    [scan_sel = 1] each clock shifts position [p]'s value into position
+    [p+1], [scan_inp] into position 0, and the value of the last position is
+    combinationally visible on [scan_out].  A fault effect latched at
+    position [p] therefore needs [length - 1 - p] shift cycles before it is
+    observable. *)
+
+type t = {
+  index : int;  (** chain number (0 for single-chain designs) *)
+  inp : int;  (** node id of this chain's scan input in [C_scan] *)
+  ffs : int array;  (** flip-flop node ids in shift order, position 0 first *)
+}
+
+val length : t -> int
+
+(** Last flip-flop of the chain — the node observed as this chain's
+    [scan_out]. *)
+val out_node : t -> int
+
+(** [position t ff] is the chain position of node [ff].
+    @raise Not_found if [ff] is not on this chain. *)
+val position : t -> int -> int
+
+(** Shift cycles needed before a value latched at [position] reaches the
+    chain's last flip-flop (0 when already there). *)
+val shifts_to_observe : t -> position:int -> int

@@ -1,0 +1,43 @@
+(** Scan insertion: build [C_scan] from [C].
+
+    For each flip-flop a multiplexer is placed in front of the data input;
+    the select line of every mux is the new primary input [scan_sel], and
+    the mux's scan-data pin is either the previous flip-flop of its chain or
+    that chain's new primary input [scan_inp].  The last flip-flop of each
+    chain is additionally observed as primary output [scan_out].  Flip-flops
+    are chained in their declaration order (as in the paper), split into
+    [chains] contiguous chunks for multi-chain designs.
+
+    All original signal names are preserved, so a node of [C] can be looked
+    up in [C_scan] by name. *)
+
+type t = private {
+  circuit : Netlist.Circuit.t;  (** the scan circuit [C_scan] *)
+  original : Netlist.Circuit.t;  (** the source circuit [C] *)
+  sel : int;  (** node id of [scan_sel] in [C_scan] *)
+  chains : Chain.t array;
+  original_pi_count : int;  (** inputs of [C_scan] before the scan inputs *)
+}
+
+(** [insert ?chains c] builds [C_scan] with the given number of scan chains
+    (default 1).
+    @raise Invalid_argument when [chains < 1], [chains] exceeds the
+    flip-flop count, or [c] has no flip-flops. *)
+val insert : ?chains:int -> Netlist.Circuit.t -> t
+
+(** Length of the longest chain — the cost [N_SV] of one complete scan
+    operation. *)
+val nsv : t -> int
+
+(** Positions (indices into [Circuit.inputs t.circuit]) of the scan inputs:
+    [sel_position] then one [inp_position] per chain. *)
+val sel_position : t -> int
+val inp_position : t -> chain:int -> int
+
+(** [chain_of_ff t ff] locates a flip-flop node id of [C_scan] on its chain:
+    [(chain index, position)].  @raise Not_found for non-chain nodes. *)
+val chain_of_ff : t -> int -> int * int
+
+(** Names chosen for the scan signals (fresh w.r.t. the original netlist). *)
+val sel_name : t -> string
+val inp_name : t -> chain:int -> string

@@ -1,0 +1,22 @@
+module Logic = Netlist.Logic
+
+type t = {
+  scan_in : Logic.t array;
+  vectors : Logic.t array array;
+}
+
+let test_cycles ~nsv t = Array.length t.vectors + nsv
+
+let set_cycles ~nsv set =
+  List.fold_left (fun acc t -> acc + test_cycles ~nsv t) nsv set
+
+let scan_in_feed t =
+  let n = Array.length t.scan_in in
+  Array.init n (fun i -> t.scan_in.(n - 1 - i))
+
+let pp fmt t =
+  let string_of_vec v =
+    String.init (Array.length v) (fun i -> Logic.to_char v.(i))
+  in
+  Format.fprintf fmt "@[<h>SI=%s T=%s@]" (string_of_vec t.scan_in)
+    (String.concat " " (List.map string_of_vec (Array.to_list t.vectors)))

@@ -1,0 +1,29 @@
+(** Classical scan-based tests [(SI, T)]: a state to scan in followed by a
+    sequence of primary-input vectors applied with the chain in functional
+    mode.  This is the representation produced by "first/second approach"
+    generators (and by our [26]-style baseline) and consumed by the
+    Section-3 translation. *)
+
+type t = {
+  scan_in : Netlist.Logic.t array;
+  (** value to load at each chain position, position 0 (nearest the scan
+      input) first; [X] entries are don't-cares *)
+  vectors : Netlist.Logic.t array array;
+  (** primary-input vectors over the original circuit's inputs, applied in
+      order with [scan_sel = 0] *)
+}
+
+(** Tester cycles for one test under complete scan operations: [|T|] plus
+    the [nsv] cycles of the scan operation that follows it (scan-out
+    overlapped with the next test's scan-in). *)
+val test_cycles : nsv:int -> t -> int
+
+(** Cycles to apply a whole set: [nsv] to load the first test plus
+    {!test_cycles} of every test — the paper's "[26] cyc" accounting. *)
+val set_cycles : nsv:int -> t list -> int
+
+(** [scan_in_feed t] is the order in which [scan_in] must be fed to
+    [scan_inp]: deepest position first (i.e. [scan_in] reversed). *)
+val scan_in_feed : t -> Netlist.Logic.t array
+
+val pp : Format.formatter -> t -> unit

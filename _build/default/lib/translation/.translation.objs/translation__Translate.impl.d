@@ -1,0 +1,1 @@
+lib/translation/translate.ml: Array List Logicsim Netlist Scanins

@@ -1,0 +1,1 @@
+lib/translation/translate.mli: Logicsim Prng Scanins

@@ -1,0 +1,74 @@
+module Circuit = Netlist.Circuit
+module Logic = Netlist.Logic
+module Scan = Scanins.Scan
+module Chain = Scanins.Chain
+module Scan_test = Scanins.Scan_test
+
+(* A scan-shift vector: x on the primary inputs, scan_sel = 1, scan_inp per
+   chain as directed by [feed frame chain]. *)
+let shift_vectors scan ~count ~feed =
+  let width = Circuit.input_count scan.Scan.circuit in
+  Array.init count (fun t ->
+      let v = Array.make width Logic.X in
+      v.(Scan.sel_position scan) <- Logic.One;
+      Array.iter
+        (fun ch ->
+          let j = ch.Chain.index in
+          v.(Scan.inp_position scan ~chain:j) <- feed t j)
+        scan.Scan.chains;
+      v)
+
+(* Scan-in of [si] (chain-position indexed, as in Scan_test): chain [j] of
+   length [l] receives its deepest bit first during the last [l] of the
+   [nsv] shift cycles. *)
+let load_vectors scan si =
+  let nsv = Scan.nsv scan in
+  (* Chain-local views of the scan-in state. *)
+  let per_chain =
+    Array.map
+      (fun ch ->
+        let l = Chain.length ch in
+        let offset =
+          (* Chains are contiguous chunks of the flip-flop list in order. *)
+          let dffs = Circuit.dffs scan.Scan.circuit in
+          let first = ch.Chain.ffs.(0) in
+          let rec find k = if dffs.(k) = first then k else find (k + 1) in
+          find 0
+        in
+        Array.init l (fun p -> si.(offset + p)))
+      scan.Scan.chains
+  in
+  shift_vectors scan ~count:nsv ~feed:(fun t j ->
+      let ch = scan.Scan.chains.(j) in
+      let l = Chain.length ch in
+      if t < nsv - l then Logic.X
+      else begin
+        let i = t - (nsv - l) in
+        per_chain.(j).(l - 1 - i)
+      end)
+
+let functional_vector scan pi_vec =
+  let width = Circuit.input_count scan.Scan.circuit in
+  let v = Array.make width Logic.X in
+  Array.blit pi_vec 0 v 0 (Array.length pi_vec);
+  v.(Scan.sel_position scan) <- Logic.Zero;
+  v
+
+let run_sparse scan ~tests =
+  let parts =
+    List.concat_map
+      (fun t ->
+        let load = load_vectors scan t.Scan_test.scan_in in
+        let func =
+          Array.to_list (Array.map (functional_vector scan) t.Scan_test.vectors)
+        in
+        Array.to_list load @ func)
+      tests
+  in
+  let closeout =
+    shift_vectors scan ~count:(Scan.nsv scan) ~feed:(fun _ _ -> Logic.X)
+  in
+  Array.append (Array.of_list parts) closeout
+
+let run scan ~tests ~rng =
+  Logicsim.Vectors.fill_x rng (run_sparse scan ~tests)

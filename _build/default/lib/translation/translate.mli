@@ -1,0 +1,26 @@
+(** Section-3 translation: a classical scan test set becomes one unified
+    test sequence.
+
+    Each test [(SI_i, T_i)] contributes [nsv] vectors with [scan_sel = 1]
+    that scan [SI_i] in (and, overlapped, scan the previous test's response
+    out), followed by [T_i] applied with [scan_sel = 0]; a final complete
+    scan-out closes the sequence.  The resulting length is exactly the
+    tester cycle count of the source set ([Scan_test.set_cycles]), and the
+    sequence detects every fault the source set detects — but, unlike the
+    source set, it is now an ordinary sequence over [C_scan] that non-scan
+    compaction procedures can shorten freely. *)
+
+(** [run scan ~tests ~rng] builds the unified sequence.  Unspecified values
+    (primary inputs during scan operations, [scan_inp] during functional
+    cycles, don't-care [SI] bits) are filled with random binary values, as
+    in the paper. *)
+val run :
+  Scanins.Scan.t ->
+  tests:Scanins.Scan_test.t list ->
+  rng:Prng.Rng.t ->
+  Logicsim.Vectors.t
+
+(** [run_sparse scan ~tests] is {!run} without the random fill: unspecified
+    entries stay [X] (useful for inspecting the translation itself, as in
+    the paper's Table 3). *)
+val run_sparse : Scanins.Scan.t -> tests:Scanins.Scan_test.t list -> Logicsim.Vectors.t

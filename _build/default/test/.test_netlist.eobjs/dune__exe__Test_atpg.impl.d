@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Array Atpg Circuits Faultmodel Fun Int64 List Logicsim Netlist Printf Prng QCheck2 QCheck_alcotest Scanins String

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Atpg Baseline Circuits Faultmodel Fun Hashtbl List Logicsim Netlist Prng Scanins

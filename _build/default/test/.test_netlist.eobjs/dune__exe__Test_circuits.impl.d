@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Circuits Int64 List Netlist Prng QCheck2 QCheck_alcotest

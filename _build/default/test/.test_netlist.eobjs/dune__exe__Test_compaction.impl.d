@@ -1,0 +1,1 @@
+test/test_compaction.ml: Alcotest Array Circuits Compaction Faultmodel Fun Int64 Logicsim Netlist Prng QCheck2 QCheck_alcotest Scanins

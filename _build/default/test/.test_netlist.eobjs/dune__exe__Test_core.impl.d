@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Atpg Circuits Compaction Core Faultmodel List Logicsim Netlist Prng Scanins String

@@ -1,0 +1,1 @@
+test/test_crossval.ml: Alcotest Array Atpg Circuits Compaction Core Faultmodel Fun Hashtbl Int64 List Logicsim Netlist Option Prng QCheck2 QCheck_alcotest Scanins

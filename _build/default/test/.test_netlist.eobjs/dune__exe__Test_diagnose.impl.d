@@ -1,0 +1,1 @@
+test/test_diagnose.ml: Alcotest Array Circuits Core Faultmodel List Logicsim Netlist Prng Scanins String

@@ -1,0 +1,1 @@
+test/test_faultmodel.ml: Alcotest Array Circuits Faultmodel Int64 Logicsim Netlist Prng QCheck2 QCheck_alcotest Scanins

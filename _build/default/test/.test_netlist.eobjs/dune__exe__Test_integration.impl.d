@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Atpg Circuits Compaction Core Faultmodel List Logicsim Netlist Prng Scanins String

@@ -1,0 +1,1 @@
+test/test_logicsim.ml: Alcotest Array Circuits Faultmodel Fun Int64 List Logicsim Netlist Option Prng QCheck2 QCheck_alcotest Scanins

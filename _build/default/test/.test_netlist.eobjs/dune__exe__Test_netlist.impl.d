@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Circuits Int64 List Logicsim Netlist Prng QCheck2 QCheck_alcotest Scanins

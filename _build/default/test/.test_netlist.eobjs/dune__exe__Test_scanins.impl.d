@@ -1,0 +1,1 @@
+test/test_scanins.ml: Alcotest Array Circuits List Logicsim Netlist Prng QCheck2 QCheck_alcotest Scanins

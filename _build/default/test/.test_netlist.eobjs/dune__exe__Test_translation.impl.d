@@ -1,0 +1,1 @@
+test/test_translation.ml: Alcotest Array Baseline Circuits Faultmodel Fun List Logicsim Netlist Prng QCheck2 QCheck_alcotest Scanins String Translation

@@ -1,0 +1,164 @@
+(* The [26]-style baseline: classical detection semantics, generation
+   validity, and test-set compaction. *)
+
+module C = Netlist.Circuit
+module L = Netlist.Logic
+module Model = Faultmodel.Model
+module Scan = Scanins.Scan
+module Scan_test = Scanins.Scan_test
+module Vectors = Logicsim.Vectors
+
+let setup name =
+  let scan = Scan.insert (Circuits.Catalog.circuit name) in
+  scan, Model.build scan.Scan.circuit
+
+(* -------------------------------------------------------------- detect *)
+
+let test_detect_observes_final_state () =
+  (* Craft a test whose only observation is the scanned-out final state:
+     on s27, load a state, apply one vector, check a state-only fault. *)
+  let scan, m = setup "s27" in
+  let all = Array.init (Model.fault_count m) Fun.id in
+  let rng = Prng.Rng.create 41L in
+  (* Random tests detect a decent share of faults under classical
+     semantics. *)
+  let t =
+    {
+      Scan_test.scan_in = Array.init 3 (fun _ -> L.of_bool (Prng.Rng.bool rng));
+      vectors = [| Vectors.random rng ~width:4 |];
+    }
+  in
+  let hits = Baseline.Detect.test scan m ~fault_ids:all t in
+  Alcotest.(check bool) "detects some" true (Array.length hits > 0);
+  (* Every reported hit must be justified: PO difference during T or a
+     final-state difference. *)
+  Array.iter
+    (fun fid ->
+      let session =
+        Logicsim.Faultsim.create ~good_state:t.Scan_test.scan_in
+          ~faulty_states:(fun _ -> t.Scan_test.scan_in)
+          m ~fault_ids:[| fid |]
+      in
+      let wide =
+        Array.map
+          (fun pi ->
+            let v = Array.make (C.input_count m.Model.circuit) L.X in
+            Array.blit pi 0 v 0 4;
+            v.(Scan.sel_position scan) <- L.Zero;
+            v)
+          t.Scan_test.vectors
+      in
+      Logicsim.Faultsim.advance session wide;
+      let po = Logicsim.Faultsim.detection_time session fid <> None in
+      let state = Logicsim.Faultsim.ff_effects session fid <> [] in
+      Alcotest.(check bool) "justified hit" true (po || state))
+    hits
+
+let test_detect_set_folds () =
+  let scan, m = setup "s27" in
+  let all = Array.init (Model.fault_count m) Fun.id in
+  let rng = Prng.Rng.create 42L in
+  let mk () =
+    {
+      Scan_test.scan_in = Array.init 3 (fun _ -> L.of_bool (Prng.Rng.bool rng));
+      vectors = [| Vectors.random rng ~width:4; Vectors.random rng ~width:4 |];
+    }
+  in
+  let tests = [ mk (); mk (); mk () ] in
+  let total = Baseline.Detect.set scan m ~fault_ids:all tests in
+  let union =
+    List.fold_left
+      (fun acc t ->
+        Array.iter (fun fid -> Hashtbl.replace acc fid ()) (Baseline.Detect.test scan m ~fault_ids:all t);
+        acc)
+      (Hashtbl.create 64) tests
+  in
+  Alcotest.(check int) "set = union of tests" (Hashtbl.length union) (Array.length total)
+
+(* ------------------------------------------------------------ generate *)
+
+let test_generate_s27 () =
+  let scan, m = setup "s27" in
+  let r = Baseline.Gen26.generate scan m Atpg.Seq_atpg.default_config in
+  Alcotest.(check bool) "tests found" true (List.length r.Baseline.Gen26.tests > 0);
+  Alcotest.(check bool) "detects most" true
+    (Array.length r.Baseline.Gen26.detected > 40);
+  Alcotest.(check int) "partition" (Model.fault_count m)
+    (Array.length r.Baseline.Gen26.detected + Array.length r.Baseline.Gen26.undetected);
+  (* Every generated test's vectors are over the original inputs. *)
+  List.iter
+    (fun t ->
+      Array.iter
+        (fun v -> Alcotest.(check int) "narrow vectors" 4 (Array.length v))
+        t.Scan_test.vectors;
+      Alcotest.(check int) "scan_in width" 3 (Array.length t.Scan_test.scan_in))
+    r.Baseline.Gen26.tests;
+  (* The set really detects what it claims, under classical semantics. *)
+  let redetect =
+    Baseline.Detect.set scan m ~fault_ids:r.Baseline.Gen26.detected
+      r.Baseline.Gen26.tests
+  in
+  Alcotest.(check int) "claims honored" (Array.length r.Baseline.Gen26.detected)
+    (Array.length redetect)
+
+let test_cycles_accounting () =
+  let scan, _ = setup "s27" in
+  let t1 = { Scan_test.scan_in = Array.make 3 L.Zero; vectors = [| Array.make 4 L.Zero |] } in
+  Alcotest.(check int) "cycles" (3 + (1 + 3)) (Baseline.Gen26.cycles scan [ t1 ]);
+  Alcotest.(check int) "empty set" 3 (Baseline.Gen26.cycles scan [])
+
+(* ------------------------------------------------------------- compact *)
+
+let test_compact_keeps_coverage () =
+  let scan, m = setup "s27" in
+  let r = Baseline.Gen26.generate scan m Atpg.Seq_atpg.default_config in
+  let kept =
+    Baseline.Compact26.run scan m ~fault_ids:r.Baseline.Gen26.detected
+      r.Baseline.Gen26.tests
+  in
+  Alcotest.(check bool) "no more tests" true
+    (List.length kept <= List.length r.Baseline.Gen26.tests);
+  let redetect =
+    Baseline.Detect.set scan m ~fault_ids:r.Baseline.Gen26.detected kept
+  in
+  Alcotest.(check int) "coverage preserved" (Array.length r.Baseline.Gen26.detected)
+    (Array.length redetect);
+  Alcotest.(check bool) "cycles reduced or equal" true
+    (Baseline.Gen26.cycles scan kept <= Baseline.Gen26.cycles scan r.Baseline.Gen26.tests)
+
+let test_compact_preserves_order () =
+  let scan, m = setup "s27" in
+  let r = Baseline.Gen26.generate scan m Atpg.Seq_atpg.default_config in
+  let kept =
+    Baseline.Compact26.run scan m ~fault_ids:r.Baseline.Gen26.detected
+      r.Baseline.Gen26.tests
+  in
+  (* kept must be a subsequence of the original list. *)
+  let rec is_sub sub full =
+    match sub, full with
+    | [], _ -> true
+    | _, [] -> false
+    | s :: srest, f :: frest ->
+      if s == f then is_sub srest frest else is_sub sub frest
+  in
+  Alcotest.(check bool) "subsequence" true (is_sub kept r.Baseline.Gen26.tests)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "detect",
+        [
+          Alcotest.test_case "hits are justified" `Quick test_detect_observes_final_state;
+          Alcotest.test_case "set folds tests" `Quick test_detect_set_folds;
+        ] );
+      ( "generate",
+        [
+          Alcotest.test_case "s27 generation" `Quick test_generate_s27;
+          Alcotest.test_case "cycle accounting" `Quick test_cycles_accounting;
+        ] );
+      ( "compact",
+        [
+          Alcotest.test_case "keeps coverage" `Quick test_compact_keeps_coverage;
+          Alcotest.test_case "preserves order" `Quick test_compact_preserves_order;
+        ] );
+    ]

@@ -1,0 +1,219 @@
+(* Cross-validation properties over randomly generated circuits.
+
+   Independent implementations are checked against each other on inputs
+   neither was tuned for: the scalar reference evaluator vs the levelized
+   simulator, the parallel fault simulator vs single-fault runs, scan-mode
+   equivalence, and — semantically — fault collapsing: two faults in one
+   equivalence class must produce identical machines. *)
+
+module C = Netlist.Circuit
+module G = Netlist.Gate
+module L = Netlist.Logic
+module F = Faultmodel.Fault
+module Model = Faultmodel.Model
+module Vectors = Logicsim.Vectors
+
+let gen_circuit seed =
+  Circuits.Synthetic.generate ~name:"xv" ~pis:4 ~ffs:6 ~gates:45
+    ~seed:(Int64.of_int seed) ()
+
+(* Scalar simulation with an optional forced node: the reference machine
+   for everything below. *)
+let forced_response ?force c seq =
+  let lv = Netlist.Levelize.of_circuit c in
+  let values = Array.make (C.node_count c) L.X in
+  let dffs = C.dffs c in
+  let dff_fanin = Array.map (fun ff -> (C.node c ff).C.fanins.(0)) dffs in
+  let state = Array.make (Array.length dffs) L.X in
+  let apply n =
+    match force with
+    | Some (fn, fv) when fn = n -> values.(n) <- fv
+    | Some _ | None -> ()
+  in
+  Array.map
+    (fun vec ->
+      Array.iteri
+        (fun i id ->
+          values.(id) <- vec.(i);
+          apply id)
+        (C.inputs c);
+      Array.iteri
+        (fun k id ->
+          values.(id) <- state.(k);
+          apply id)
+        dffs;
+      Array.iter
+        (fun nd ->
+          values.(nd) <- Logicsim.Goodsim.eval_node c values nd;
+          apply nd)
+        lv.Netlist.Levelize.order;
+      Array.iteri (fun k d -> state.(k) <- values.(d)) dff_fanin;
+      Array.map (fun o -> values.(o)) (C.outputs c))
+    seq
+
+let same_matrix a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun r1 r2 -> Array.for_all2 L.equal r1 r2) a b
+
+(* ------------------------------------------------------------ properties *)
+
+let prop_goodsim_matches_reference =
+  QCheck2.Test.make ~name:"goodsim = scalar reference on random circuits"
+    ~count:15
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let c = gen_circuit seed in
+      let rng = Prng.Rng.create (Int64.of_int (seed + 1)) in
+      let seq = Vectors.random_seq rng ~width:(C.input_count c) ~length:30 in
+      let sim = Logicsim.Goodsim.create c in
+      same_matrix (Logicsim.Goodsim.run sim seq) (forced_response c seq))
+
+let prop_scan_functional_equivalence =
+  QCheck2.Test.make
+    ~name:"C_scan with scan_sel=0 behaves like C (random circuits)" ~count:15
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let c = gen_circuit seed in
+      let scan = Scanins.Scan.insert c in
+      let cs = scan.Scanins.Scan.circuit in
+      let rng = Prng.Rng.create (Int64.of_int (seed + 2)) in
+      let npi = C.input_count c in
+      let seq = Vectors.random_seq rng ~width:npi ~length:30 in
+      let widened =
+        Array.map
+          (fun v ->
+            let w = Array.make (C.input_count cs) L.Zero in
+            Array.blit v 0 w 0 npi;
+            w.(Scanins.Scan.sel_position scan) <- L.Zero;
+            w.(Scanins.Scan.inp_position scan ~chain:0)
+              <- L.of_bool (Prng.Rng.bool rng);
+            w)
+          seq
+      in
+      let oc = forced_response c seq in
+      let os = forced_response cs widened in
+      (* The original outputs come first in C_scan's output list. *)
+      Array.for_all2
+        (fun r1 r2 ->
+          Array.for_all2 L.equal r1 (Array.sub r2 0 (Array.length r1)))
+        oc os)
+
+let prop_parallel_equals_serial =
+  QCheck2.Test.make ~name:"parallel faultsim = serial (random circuits)"
+    ~count:8
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let c = gen_circuit seed in
+      let scan = Scanins.Scan.insert c in
+      let m = Model.build scan.Scanins.Scan.circuit in
+      let rng = Prng.Rng.create (Int64.of_int (seed + 3)) in
+      let seq =
+        Vectors.random_seq rng
+          ~width:(C.input_count m.Model.circuit) ~length:40
+      in
+      let ids = Array.init (Model.fault_count m) Fun.id in
+      let par = Logicsim.Faultsim.detection_times m ~fault_ids:ids seq in
+      Array.for_all
+        (fun fid ->
+          let ser =
+            match Logicsim.Faultsim.detects_single m ~fault:fid seq with
+            | Some t -> t
+            | None -> -1
+          in
+          par.(fid) = ser)
+        ids)
+
+let prop_collapse_is_semantic =
+  (* Two faults in one equivalence class produce the same faulty machine:
+     identical output matrices on random stimuli. *)
+  QCheck2.Test.make ~name:"equivalence classes are semantically equivalent"
+    ~count:8
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let c = gen_circuit seed in
+      let scan = Scanins.Scan.insert c in
+      let base = scan.Scanins.Scan.circuit in
+      let m = Model.build base in
+      let collapsed = Faultmodel.Collapse.run base in
+      let rng = Prng.Rng.create (Int64.of_int (seed + 4)) in
+      let seq =
+        Vectors.random_seq rng
+          ~width:(C.input_count m.Model.circuit) ~length:25
+      in
+      (* Group universe faults by class. *)
+      let by_class = Hashtbl.create 64 in
+      Array.iteri
+        (fun i f ->
+          let cls = collapsed.Faultmodel.Collapse.class_of.(i) in
+          Hashtbl.replace by_class cls
+            (f :: Option.value ~default:[] (Hashtbl.find_opt by_class cls)))
+        collapsed.Faultmodel.Collapse.universe;
+      let ok = ref true in
+      Hashtbl.iter
+        (fun _ members ->
+          match members with
+          | first :: (_ :: _ as rest) when !ok ->
+            let resp (f : F.t) =
+              let node = Model.node_for_site m f.F.site in
+              forced_response ~force:(node, L.of_bool f.F.stuck)
+                m.Model.circuit seq
+            in
+            let r0 = resp first in
+            List.iter (fun f -> if not (same_matrix r0 (resp f)) then ok := false) rest
+          | _ -> ())
+        by_class;
+      !ok)
+
+let prop_flow_targets_hold =
+  (* The full generation flow's bookkeeping is honest on random circuits:
+     every target is detected by the final sequence at its recorded time. *)
+  QCheck2.Test.make ~name:"flow detection times verified by simulation"
+    ~count:4
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let c = gen_circuit seed in
+      let scan = Scanins.Scan.insert c in
+      let m = Model.build scan.Scanins.Scan.circuit in
+      let sk = Atpg.Scan_knowledge.create scan in
+      let cfg =
+        { (Core.Config.for_circuit c) with
+          Core.Config.atpg = { Atpg.Seq_atpg.depths = [ 1; 2; 4 ]; backtrack_limit = 60 } }
+      in
+      let flow = Core.Flow.generate cfg sk m in
+      let t = flow.Core.Flow.targets in
+      Array.for_all2
+        (fun fid dt ->
+          Logicsim.Faultsim.detects_single m ~fault:fid flow.Core.Flow.sequence
+          = Some dt)
+        t.Compaction.Target.fault_ids t.Compaction.Target.det_times)
+
+let prop_restoration_subset_random_circuits =
+  QCheck2.Test.make ~name:"restoration preserves targets on random circuits"
+    ~count:5
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let c = gen_circuit seed in
+      let scan = Scanins.Scan.insert c in
+      let m = Model.build scan.Scanins.Scan.circuit in
+      let rng = Prng.Rng.create (Int64.of_int (seed + 5)) in
+      let seq =
+        Vectors.random_seq rng
+          ~width:(C.input_count m.Model.circuit) ~length:120
+      in
+      let ids = Array.init (Model.fault_count m) Fun.id in
+      let targets = Compaction.Target.compute m seq ~fault_ids:ids in
+      let restored = Compaction.Restoration.run m seq targets in
+      Array.length restored <= Array.length seq
+      && Compaction.Target.detected_by m restored targets)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "crossval"
+    [
+      ( "simulation",
+        [ q prop_goodsim_matches_reference; q prop_scan_functional_equivalence;
+          q prop_parallel_equals_serial ] );
+      ( "faults", [ q prop_collapse_is_semantic ] );
+      ( "flow", [ q prop_flow_targets_hold ] );
+      ( "compaction", [ q prop_restoration_subset_random_circuits ] );
+    ]

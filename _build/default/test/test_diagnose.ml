@@ -1,0 +1,190 @@
+(* Diagnosis and VCD export: responses, failing-position extraction,
+   ranking soundness (the injected fault always explains its own
+   observation perfectly), and the waveform dump format. *)
+
+module C = Netlist.Circuit
+module L = Netlist.Logic
+module Model = Faultmodel.Model
+module Vectors = Logicsim.Vectors
+
+let setup () =
+  let scan = Scanins.Scan.insert (Circuits.Iscas.s27 ()) in
+  scan, Model.build scan.Scanins.Scan.circuit
+
+let test_sequence model =
+  let rng = Prng.Rng.create 61L in
+  Vectors.random_seq rng ~width:(C.input_count model.Model.circuit) ~length:120
+
+(* ------------------------------------------------------------ response *)
+
+let test_response_good_matches_goodsim () =
+  let _, m = setup () in
+  let seq = test_sequence m in
+  let got = Core.Diagnose.response m seq in
+  let sim = Logicsim.Goodsim.create m.Model.circuit in
+  let want = Logicsim.Goodsim.run sim seq in
+  Array.iteri
+    (fun t row ->
+      Array.iteri
+        (fun j v ->
+          if not (L.equal v want.(t).(j)) then Alcotest.failf "cycle %d" t)
+        row)
+    got
+
+let test_response_faulty_consistent_with_faultsim () =
+  (* The scalar faulty response disagrees with the good response exactly
+     when the parallel fault simulator reports a detection. *)
+  let _, m = setup () in
+  let seq = test_sequence m in
+  let good = Core.Diagnose.response m seq in
+  for fid = 0 to Model.fault_count m - 1 do
+    let faulty = Core.Diagnose.response m ~fault:fid seq in
+    let first_strict = ref None in
+    Array.iteri
+      (fun t row ->
+        Array.iteri
+          (fun j g ->
+            let f = faulty.(t).(j) in
+            if
+              !first_strict = None && L.is_binary g && L.is_binary f
+              && not (L.equal g f)
+            then first_strict := Some t)
+          row)
+      good;
+    let sim_time = Logicsim.Faultsim.detects_single m ~fault:fid seq in
+    if !first_strict <> sim_time then
+      Alcotest.failf "fault %s: scalar %s vs parallel %s"
+        (Model.fault_name m fid)
+        (match !first_strict with Some t -> string_of_int t | None -> "-")
+        (match sim_time with Some t -> string_of_int t | None -> "-")
+  done
+
+(* ----------------------------------------------------------- diagnosis *)
+
+let test_failing_positions_masking () =
+  let expected = [| [| L.One; L.X |]; [| L.Zero; L.One |] |] in
+  let observed = [| [| L.Zero; L.One |]; [| L.Zero; L.Zero |] |] in
+  Alcotest.(check (list (pair int int)))
+    "masked X ignored"
+    [ (0, 0); (1, 1) ]
+    (Core.Diagnose.failing_positions ~expected ~observed)
+
+let test_injected_fault_ranks_perfectly () =
+  let _, m = setup () in
+  let seq = test_sequence m in
+  let rng = Prng.Rng.create 62L in
+  for _ = 1 to 8 do
+    let truth = Prng.Rng.int rng (Model.fault_count m) in
+    let observed = Core.Diagnose.response m ~fault:truth seq in
+    let ranking = Core.Diagnose.run m seq ~observed () in
+    let perfect = Core.Diagnose.perfect ranking in
+    (* The true fault must explain its own observation exactly — provided
+       the sequence detects it at all. *)
+    if Logicsim.Faultsim.detects_single m ~fault:truth seq <> None then begin
+      Alcotest.(check bool) "true fault is perfect" true
+        (List.exists (fun c -> c.Core.Diagnose.fault = truth) perfect);
+      (* And the ranking puts a perfect candidate on top. *)
+      match ranking with
+      | top :: _ ->
+        Alcotest.(check int) "no missed failures at rank 1" 0
+          top.Core.Diagnose.missed
+      | [] -> Alcotest.fail "empty ranking"
+    end
+  done
+
+let test_healthy_device_diagnoses_clean () =
+  let _, m = setup () in
+  let seq = test_sequence m in
+  let observed = Core.Diagnose.response m seq in
+  let ranking = Core.Diagnose.run m seq ~observed () in
+  (* No failures observed: candidates with zero predicted failures would be
+     perfect, but every detected fault predicts at least one — so nobody
+     may claim a match, and everyone's "extra" is positive. *)
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "no matched failures" 0 c.Core.Diagnose.matched;
+      Alcotest.(check bool) "predicts unobserved failures" true
+        (c.Core.Diagnose.extra > 0))
+    ranking
+
+let test_candidate_restriction () =
+  let _, m = setup () in
+  let seq = test_sequence m in
+  let observed = Core.Diagnose.response m ~fault:0 seq in
+  let ranking = Core.Diagnose.run m seq ~observed ~candidates:[| 0; 1; 2 |] () in
+  Alcotest.(check int) "three candidates" 3 (List.length ranking)
+
+(* ----------------------------------------------------------------- vcd *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_vcd_structure () =
+  let c = Circuits.Iscas.s27 () in
+  let rng = Prng.Rng.create 63L in
+  let seq = Vectors.random_seq rng ~width:4 ~length:10 in
+  let text = Logicsim.Vcd.dump c seq in
+  List.iter
+    (fun frag -> Alcotest.(check bool) frag true (contains text frag))
+    [ "$timescale"; "$scope module s27"; "$var wire 1"; "$enddefinitions";
+      "#0"; "#10"; "G17" ];
+  (* Every node is declared. *)
+  Array.iter
+    (fun nd ->
+      Alcotest.(check bool) nd.C.name true (contains text (" " ^ nd.C.name ^ " $end")))
+    (C.nodes c)
+
+let test_vcd_node_subset () =
+  let c = Circuits.Iscas.s27 () in
+  let rng = Prng.Rng.create 64L in
+  let seq = Vectors.random_seq rng ~width:4 ~length:5 in
+  let g17 = C.id_of_name_exn c "G17" in
+  let text = Logicsim.Vcd.dump_nodes c seq ~nodes:[ g17 ] in
+  Alcotest.(check bool) "has G17" true (contains text "G17");
+  Alcotest.(check bool) "no G5" false (contains text "G5");
+  Alcotest.(check bool) "rejects bad id" true
+    (match Logicsim.Vcd.dump_nodes c seq ~nodes:[ 999 ] with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_vcd_change_compression () =
+  (* Constant inputs: after time 0, no value-change lines for them. *)
+  let c = Circuits.Iscas.s27 () in
+  let seq = Array.make 6 (Vectors.parse "0101") in
+  let g0 = C.id_of_name_exn c "G0" in
+  let text = Logicsim.Vcd.dump_nodes c seq ~nodes:[ g0 ] in
+  (* One declaration, one initial value at #0, then silence. *)
+  let changes =
+    List.filter
+      (fun l -> String.length l > 0 && (l.[0] = '0' || l.[0] = '1' || l.[0] = 'x'))
+      (String.split_on_char '\n' text)
+  in
+  Alcotest.(check int) "single change" 1 (List.length changes)
+
+let () =
+  Alcotest.run "diagnose"
+    [
+      ( "response",
+        [
+          Alcotest.test_case "good = goodsim" `Quick test_response_good_matches_goodsim;
+          Alcotest.test_case "faulty = faultsim" `Quick
+            test_response_faulty_consistent_with_faultsim;
+        ] );
+      ( "diagnosis",
+        [
+          Alcotest.test_case "failing positions/masking" `Quick
+            test_failing_positions_masking;
+          Alcotest.test_case "injected fault perfect" `Quick
+            test_injected_fault_ranks_perfectly;
+          Alcotest.test_case "healthy device" `Quick test_healthy_device_diagnoses_clean;
+          Alcotest.test_case "candidate restriction" `Quick test_candidate_restriction;
+        ] );
+      ( "vcd",
+        [
+          Alcotest.test_case "structure" `Quick test_vcd_structure;
+          Alcotest.test_case "node subset" `Quick test_vcd_node_subset;
+          Alcotest.test_case "change compression" `Quick test_vcd_change_compression;
+        ] );
+    ]

@@ -1,0 +1,249 @@
+(* Fault universe enumeration, equivalence collapsing rules, and the
+   elaborated simulation model. *)
+
+module C = Netlist.Circuit
+module G = Netlist.Gate
+module L = Netlist.Logic
+module F = Faultmodel.Fault
+module Collapse = Faultmodel.Collapse
+module Model = Faultmodel.Model
+
+(* A chain with a fanout point:  a -> inv -> g (AND with b), stem a also
+   feeds h (OR with b).  a has electrical fanout 2. *)
+let fanout_circuit () =
+  let b = C.Builder.create ~name:"fan" () in
+  C.Builder.add_input b "a";
+  C.Builder.add_input b "b";
+  C.Builder.add_gate b "inv" G.Not [ "a" ];
+  C.Builder.add_gate b "g" G.And [ "inv"; "b" ];
+  C.Builder.add_gate b "h" G.Or [ "a"; "b" ];
+  C.Builder.add_output b "g";
+  C.Builder.add_output b "h";
+  C.Builder.build b
+
+(* ------------------------------------------------------------ universe *)
+
+let test_universe_counts () =
+  let c = fanout_circuit () in
+  let u = F.universe c in
+  (* Stems: 5 nodes x 2.  Branches: a fans out to inv and h (plus nothing
+     else); b fans out to g and h.  Both stems have fanout 2, so each of
+     their 2+2 sink pins gets 2 faults: 8.  g and inv have fanout 1 (one
+     observation or one pin). *)
+  let stems = Array.length (C.nodes c) * 2 in
+  Alcotest.(check int) "universe" (stems + 8) (Array.length u)
+
+let test_universe_po_observation_counts_as_fanout () =
+  (* g is observed as PO and feeds nothing else: fanout_count 1, no branch.
+     In fanout_circuit, h is PO-observed only: also fanout 1. *)
+  let c = fanout_circuit () in
+  let g = C.id_of_name_exn c "g" in
+  Alcotest.(check int) "g fanout" 1 (C.fanout_count c g);
+  let a = C.id_of_name_exn c "a" in
+  Alcotest.(check int) "a fanout" 2 (C.fanout_count c a)
+
+let test_fault_names () =
+  let c = fanout_circuit () in
+  let g = C.id_of_name_exn c "g" in
+  Alcotest.(check string) "stem" "g/1"
+    (F.name c { F.site = F.Stem g; stuck = true });
+  Alcotest.(check string) "branch" "g.in0/0"
+    (F.name c { F.site = F.Branch { sink = g; pin = 0 }; stuck = false })
+
+(* ------------------------------------------------------------ collapse *)
+
+let class_of_fault (r : Collapse.result) f =
+  let idx = ref (-1) in
+  Array.iteri (fun i u -> if F.equal u f then idx := i) r.Collapse.universe;
+  if !idx < 0 then Alcotest.fail "fault not in universe";
+  r.Collapse.class_of.(!idx)
+
+let test_collapse_inverter () =
+  (* Fanout-free: inv input is a's stem; inv in-0 ≡ out-1, in-1 ≡ out-0
+     does NOT apply here because a has fanout 2 → branch fault objects. *)
+  let c = fanout_circuit () in
+  let r = Collapse.run c in
+  let inv = C.id_of_name_exn c "inv" in
+  (* Branch a->inv pin0 stuck-0 ≡ inv stem stuck-1. *)
+  let branch0 = { F.site = F.Branch { sink = inv; pin = 0 }; stuck = false } in
+  let stem1 = { F.site = F.Stem inv; stuck = true } in
+  Alcotest.(check int) "not: in/0 = out/1" (class_of_fault r stem1)
+    (class_of_fault r branch0)
+
+let test_collapse_and_gate () =
+  let c = fanout_circuit () in
+  let r = Collapse.run c in
+  let g = C.id_of_name_exn c "g" in
+  let inv = C.id_of_name_exn c "inv" in
+  (* inv feeds only g: pin fault = inv stem fault; AND input sa0 ≡ output
+     sa0. *)
+  let inv_sa0 = { F.site = F.Stem inv; stuck = false } in
+  let g_sa0 = { F.site = F.Stem g; stuck = false } in
+  Alcotest.(check int) "and: in/0 = out/0" (class_of_fault r g_sa0)
+    (class_of_fault r inv_sa0);
+  (* ...and therefore also ≡ the inverter's input sa1 (branch of a). *)
+  let a_branch_sa1 = { F.site = F.Branch { sink = inv; pin = 0 }; stuck = true } in
+  Alcotest.(check int) "chained through inverter" (class_of_fault r g_sa0)
+    (class_of_fault r a_branch_sa1)
+
+let test_collapse_or_gate () =
+  let c = fanout_circuit () in
+  let r = Collapse.run c in
+  let h = C.id_of_name_exn c "h" in
+  let h_in0_sa1 = { F.site = F.Branch { sink = h; pin = 0 }; stuck = true } in
+  let h_sa1 = { F.site = F.Stem h; stuck = true } in
+  Alcotest.(check int) "or: in/1 = out/1" (class_of_fault r h_sa1)
+    (class_of_fault r h_in0_sa1)
+
+let test_collapse_reduces () =
+  let c = Circuits.Iscas.s27 () in
+  let r = Collapse.run c in
+  Alcotest.(check bool) "fewer classes" true
+    (Array.length r.Collapse.representatives < Array.length r.Collapse.universe);
+  (* Every class id is in range and every representative's class maps to
+     itself. *)
+  Array.iter
+    (fun cls ->
+      Alcotest.(check bool) "class in range" true
+        (cls >= 0 && cls < Array.length r.Collapse.representatives))
+    r.Collapse.class_of
+
+let test_collapse_no_cross_dff () =
+  (* DFF input and output faults stay separate classes. *)
+  let b = C.Builder.create ~name:"dffc" () in
+  C.Builder.add_input b "a";
+  C.Builder.add_gate b "q" G.Dff [ "inv" ];
+  C.Builder.add_gate b "inv" G.Not [ "a" ];
+  C.Builder.add_gate b "o" G.Buf [ "q" ];
+  C.Builder.add_output b "o";
+  let c = C.Builder.build b in
+  let r = Collapse.run c in
+  let q = C.id_of_name_exn c "q" and inv = C.id_of_name_exn c "inv" in
+  Alcotest.(check bool) "dff in/out distinct" true
+    (class_of_fault r { F.site = F.Stem inv; stuck = false }
+     <> class_of_fault r { F.site = F.Stem q; stuck = false })
+
+(* --------------------------------------------------------------- model *)
+
+let test_model_mapping () =
+  let c = fanout_circuit () in
+  let m = Model.build c in
+  Alcotest.(check int) "universe recorded" 18 m.Model.universe_size;
+  (* Elaboration adds one buffer per branch pin of a multi-fanout stem:
+     a -> inv, a -> h, b -> g, b -> h: 4 buffers. *)
+  Alcotest.(check int) "elaborated nodes" (C.node_count c + 4)
+    (C.node_count m.Model.circuit);
+  (* Every fault maps to a valid node and original names survive. *)
+  Array.iteri
+    (fun i node ->
+      ignore (C.node m.Model.circuit node);
+      ignore (Model.fault_name m i))
+    m.Model.fault_node;
+  Array.iter
+    (fun nd ->
+      Alcotest.(check bool) "name kept" true
+        (C.find m.Model.circuit nd.C.name <> None))
+    (C.nodes c)
+
+let test_model_branch_nodes_are_bufs () =
+  let c = fanout_circuit () in
+  let m = Model.build c in
+  Array.iteri
+    (fun i f ->
+      match f.F.site with
+      | F.Branch _ ->
+        let nd = C.node m.Model.circuit m.Model.fault_node.(i) in
+        Alcotest.(check bool) "branch -> buf" true (nd.C.kind = G.Buf)
+      | F.Stem _ -> ())
+    m.Model.faults
+
+let test_model_functional_equivalence () =
+  (* The elaborated circuit computes the same outputs as the base. *)
+  let c = Circuits.Catalog.circuit "b02" in
+  let scan = Scanins.Scan.insert c in
+  let base = scan.Scanins.Scan.circuit in
+  let m = Model.build base in
+  let rng = Prng.Rng.create 5L in
+  let seq =
+    Logicsim.Vectors.random_seq rng ~width:(C.input_count base) ~length:100
+  in
+  let ob = Logicsim.Goodsim.run (Logicsim.Goodsim.create base) seq in
+  let oe = Logicsim.Goodsim.run (Logicsim.Goodsim.create m.Model.circuit) seq in
+  Array.iteri
+    (fun i vb ->
+      Array.iteri
+        (fun j v ->
+          if not (L.equal v oe.(i).(j)) then Alcotest.fail "PO mismatch")
+        vb)
+    ob
+
+let test_model_map_node () =
+  let c = fanout_circuit () in
+  let m = Model.build c in
+  Array.iter
+    (fun nd ->
+      let mapped = Model.map_node m nd.C.id in
+      Alcotest.(check string) "same name" nd.C.name
+        (C.node m.Model.circuit mapped).C.name)
+    (C.nodes c)
+
+let prop_collapse_classes_sound =
+  (* On random circuits: representative count = max class + 1, classes
+     total, and collapsing never mixes stuck values at the same site
+     (a site's sa0 and sa1 are never equivalent). *)
+  QCheck2.Test.make ~name:"collapse classes are well-formed" ~count:20
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let c =
+        Circuits.Synthetic.generate ~name:"t" ~pis:4 ~ffs:5 ~gates:40
+          ~seed:(Int64.of_int seed) ()
+      in
+      let r = Collapse.run c in
+      let nclasses = Array.length r.Collapse.representatives in
+      let max_cls = Array.fold_left max (-1) r.Collapse.class_of in
+      let ok_shape = nclasses = max_cls + 1 in
+      let ok_values =
+        Array.for_all
+          (fun f ->
+            let f' = { f with F.stuck = not f.F.stuck } in
+            let idx g =
+              let r' = ref (-1) in
+              Array.iteri (fun i u -> if F.equal u g then r' := i) r.Collapse.universe;
+              !r'
+            in
+            r.Collapse.class_of.(idx f) <> r.Collapse.class_of.(idx f'))
+          r.Collapse.universe
+      in
+      ok_shape && ok_values)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "faultmodel"
+    [
+      ( "universe",
+        [
+          Alcotest.test_case "counts" `Quick test_universe_counts;
+          Alcotest.test_case "fanout accounting" `Quick
+            test_universe_po_observation_counts_as_fanout;
+          Alcotest.test_case "names" `Quick test_fault_names;
+        ] );
+      ( "collapse",
+        [
+          Alcotest.test_case "inverter rule" `Quick test_collapse_inverter;
+          Alcotest.test_case "and rule + chaining" `Quick test_collapse_and_gate;
+          Alcotest.test_case "or rule" `Quick test_collapse_or_gate;
+          Alcotest.test_case "reduces universe" `Quick test_collapse_reduces;
+          Alcotest.test_case "no collapsing across DFFs" `Quick
+            test_collapse_no_cross_dff;
+          q prop_collapse_classes_sound;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "fault mapping" `Quick test_model_mapping;
+          Alcotest.test_case "branch nodes are buffers" `Quick
+            test_model_branch_nodes_are_bufs;
+          Alcotest.test_case "functional equivalence" `Quick
+            test_model_functional_equivalence;
+          Alcotest.test_case "map_node" `Quick test_model_map_node;
+        ] );
+    ]

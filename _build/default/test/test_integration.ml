@@ -1,0 +1,118 @@
+(* End-to-end pipeline invariants on small circuits: the relations between
+   the paper's table columns must hold by construction. *)
+
+module L = Netlist.Logic
+module Model = Faultmodel.Model
+
+let check_result (r : Core.Pipeline.result) =
+  let open Core.Pipeline in
+  (* Table 5 consistency. *)
+  Alcotest.(check bool) "fcov in range" true (r.row5.fcov >= 0.0 && r.row5.fcov <= 100.0);
+  Alcotest.(check bool) "detected <= faults" true (r.row5.detected <= r.row5.faults);
+  Alcotest.(check bool) "funct <= detected" true (r.row5.funct <= r.row5.detected);
+  (* Table 6 monotonicity: generation >= restoration >= omission. *)
+  Alcotest.(check bool) "restor <= test" true
+    (r.row6.restor_len.total <= r.row6.test_len.total);
+  Alcotest.(check bool) "omit <= restor" true
+    (r.row6.omit_len.total <= r.row6.restor_len.total);
+  Alcotest.(check bool) "scan <= total (gen)" true
+    (r.row6.test_len.scan <= r.row6.test_len.total);
+  Alcotest.(check bool) "scan <= total (omit)" true
+    (r.row6.omit_len.scan <= r.row6.omit_len.total);
+  Alcotest.(check bool) "scan monotone" true
+    (r.row6.omit_len.scan <= r.row6.test_len.scan);
+  (* Table 7, when present. *)
+  match r.row7 with
+  | None -> ()
+  | Some row7 ->
+    (* Translated length equals the baseline's cycle count by construction. *)
+    Alcotest.(check int) "t7 len = [26] cycles" row7.baseline_cycles
+      row7.test_len.total;
+    Alcotest.(check int) "same cycles in both tables" r.row6.baseline_cycles
+      row7.baseline_cycles;
+    Alcotest.(check bool) "t7 restor <= t7 test" true
+      (row7.restor_len.total <= row7.test_len.total);
+    Alcotest.(check bool) "t7 omit <= t7 restor" true
+      (row7.omit_len.total <= row7.restor_len.total)
+
+let test_pipeline_s27 () =
+  let r = Core.Pipeline.run "s27" in
+  check_result r;
+  Alcotest.(check (float 0.01)) "s27 full coverage" 100.0 r.Core.Pipeline.row5.fcov;
+  Alcotest.(check bool) "has table7" true (r.Core.Pipeline.row7 <> None)
+
+let test_pipeline_b02 () =
+  let r = Core.Pipeline.run "b02" in
+  check_result r;
+  Alcotest.(check bool) "good coverage" true (r.Core.Pipeline.row5.fcov > 95.0);
+  (* The headline claim: compacted unified sequence beats the complete-scan
+     baseline's tester cycles. *)
+  Alcotest.(check bool) "beats baseline" true
+    (r.Core.Pipeline.row6.omit_len.Core.Pipeline.total
+     < r.Core.Pipeline.row6.baseline_cycles)
+
+let test_pipeline_compacted_sequence_valid () =
+  (* Re-derive the compacted sequence and check it still detects every
+     fault the generated sequence detected. *)
+  let name = "b01" in
+  let c = Circuits.Catalog.circuit name in
+  let cfg = Core.Config.for_circuit c in
+  let scan = Scanins.Scan.insert c in
+  let model = Model.build scan.Scanins.Scan.circuit in
+  let sk = Atpg.Scan_knowledge.create scan in
+  let flow = Core.Flow.generate cfg sk model in
+  let restored =
+    Compaction.Restoration.run model flow.Core.Flow.sequence flow.Core.Flow.targets
+  in
+  let tr =
+    Compaction.Target.compute model restored
+      ~fault_ids:flow.Core.Flow.targets.Compaction.Target.fault_ids
+  in
+  let compacted, _ =
+    Compaction.Omission.run model restored tr cfg.Core.Config.omission
+  in
+  Alcotest.(check bool) "coverage preserved" true
+    (Compaction.Target.detected_by model compacted flow.Core.Flow.targets)
+
+let test_pipeline_multichain_runs () =
+  let cfg = { (Core.Config.for_circuit (Circuits.Catalog.circuit "s27")) with
+              Core.Config.chains = 3 } in
+  let r = Core.Pipeline.run ~config:cfg "s27" in
+  check_result r;
+  Alcotest.(check bool) "coverage still full" true
+    (r.Core.Pipeline.row5.fcov > 99.0)
+
+let test_cli_sequence_file_roundtrip () =
+  (* The CLI writes sequences as 01x lines; parsing them back must be
+     lossless (exercised via the Vectors API the CLI uses). *)
+  let rng = Prng.Rng.create 55L in
+  let seq = Logicsim.Vectors.random_seq rng ~width:6 ~length:20 in
+  let text =
+    String.concat "\n" (Array.to_list (Array.map Logicsim.Vectors.to_string seq))
+  in
+  let back =
+    Array.of_list (List.map Logicsim.Vectors.parse (String.split_on_char '\n' text))
+  in
+  Alcotest.(check int) "length" (Array.length seq) (Array.length back);
+  Array.iteri
+    (fun i v ->
+      Array.iteri
+        (fun j x -> Alcotest.(check bool) "bit" true (L.equal x back.(i).(j)))
+        v)
+    seq
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "s27 end to end" `Slow test_pipeline_s27;
+          Alcotest.test_case "b02 end to end" `Slow test_pipeline_b02;
+          Alcotest.test_case "compacted sequence valid" `Slow
+            test_pipeline_compacted_sequence_valid;
+          Alcotest.test_case "multichain" `Slow test_pipeline_multichain_runs;
+        ] );
+      ( "io",
+        [ Alcotest.test_case "sequence file roundtrip" `Quick
+            test_cli_sequence_file_roundtrip ] );
+    ]

@@ -1,0 +1,301 @@
+(* Simulator tests: vectors, good-machine semantics, and the parallel fault
+   simulator checked against exhaustive single-fault runs. *)
+
+module C = Netlist.Circuit
+module G = Netlist.Gate
+module L = Netlist.Logic
+module Goodsim = Logicsim.Goodsim
+module Faultsim = Logicsim.Faultsim
+module Vectors = Logicsim.Vectors
+module Model = Faultmodel.Model
+
+(* ------------------------------------------------------------- vectors *)
+
+let test_vectors_parse_print () =
+  let v = Vectors.parse "01x1X0" in
+  Alcotest.(check string) "roundtrip" "01x1x0" (Vectors.to_string v);
+  Alcotest.(check bool) "parse x" true (L.equal v.(2) L.X)
+
+let test_vectors_fill_x () =
+  let rng = Prng.Rng.create 9L in
+  let seq = [| Vectors.parse "x0x"; Vectors.parse "1xx" |] in
+  let filled = Vectors.fill_x rng seq in
+  Array.iter
+    (fun v -> Array.iter (fun b -> Alcotest.(check bool) "binary" true (L.is_binary b)) v)
+    filled;
+  (* Specified bits survive. *)
+  Alcotest.(check bool) "kept 0" true (L.equal filled.(0).(1) L.Zero);
+  Alcotest.(check bool) "kept 1" true (L.equal filled.(1).(0) L.One);
+  (* Input not mutated. *)
+  Alcotest.(check bool) "pure" true (L.equal seq.(0).(0) L.X)
+
+let test_vectors_count () =
+  let seq = [| Vectors.parse "10"; Vectors.parse "11"; Vectors.parse "0x" |] in
+  Alcotest.(check int) "count ones at 0" 2 (Vectors.count seq ~position:0 ~value:L.One);
+  Alcotest.(check int) "count x at 1" 1 (Vectors.count seq ~position:1 ~value:L.X)
+
+let prop_fill_x_refines =
+  QCheck2.Test.make ~name:"fill_x only refines X positions" ~count:100
+    QCheck2.Gen.(
+      pair (int_range 0 1000)
+        (list_size (int_range 1 10)
+           (string_size ~gen:(oneofl [ '0'; '1'; 'x' ]) (return 6))))
+    (fun (seed, rows) ->
+      let seq = Array.of_list (List.map Vectors.parse rows) in
+      let filled = Vectors.fill_x (Prng.Rng.create (Int64.of_int seed)) seq in
+      Array.for_all2
+        (fun v f ->
+          Array.for_all2
+            (fun a b -> if L.is_binary a then L.equal a b else L.is_binary b)
+            v f)
+        seq filled)
+
+(* ------------------------------------------------------------- goodsim *)
+
+(* d = a AND q;  q' = d;  o = a XOR q. *)
+let toy () =
+  let b = C.Builder.create ~name:"toy" () in
+  C.Builder.add_input b "a";
+  C.Builder.add_gate b "q" G.Dff [ "d" ];
+  C.Builder.add_gate b "d" G.And [ "a"; "q" ];
+  C.Builder.add_gate b "o" G.Xor [ "a"; "q" ];
+  C.Builder.add_output b "o";
+  C.Builder.build b
+
+let test_goodsim_xstate () =
+  let sim = Goodsim.create (toy ()) in
+  (* Power-up X: with a=0, AND gives 0, XOR gives X. *)
+  Goodsim.step sim [| L.Zero |];
+  Alcotest.(check bool) "o = x" true (L.equal (Goodsim.po_values sim).(0) L.X);
+  (* But state resolved to 0 by the AND. *)
+  Alcotest.(check bool) "q' = 0" true (L.equal (Goodsim.state sim).(0) L.Zero);
+  Goodsim.step sim [| L.One |];
+  Alcotest.(check bool) "o = 1" true (L.equal (Goodsim.po_values sim).(0) L.One)
+
+let test_goodsim_set_state () =
+  let sim = Goodsim.create (toy ()) in
+  Goodsim.set_state sim [| L.One |];
+  Goodsim.step sim [| L.One |];
+  Alcotest.(check bool) "xor(1,1)=0" true (L.equal (Goodsim.po_values sim).(0) L.Zero);
+  Alcotest.(check bool) "and(1,1)=1" true (L.equal (Goodsim.state sim).(0) L.One);
+  Goodsim.reset sim;
+  Goodsim.step sim [| L.One |];
+  Alcotest.(check bool) "back to x" true (L.equal (Goodsim.po_values sim).(0) L.X)
+
+let test_goodsim_vector_width () =
+  let sim = Goodsim.create (toy ()) in
+  Alcotest.(check bool) "rejects" true
+    (match Goodsim.step sim [| L.One; L.One |] with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_goodsim_run_collects () =
+  let sim = Goodsim.create (toy ()) in
+  let out = Goodsim.run sim [| [| L.Zero |]; [| L.One |]; [| L.One |] |] in
+  Alcotest.(check int) "three frames" 3 (Array.length out);
+  Alcotest.(check bool) "frame1" true (L.equal out.(1).(0) L.One);
+  (* q was 0 after frame 0 (AND with 0), 0 after frame 1; frame2: 1 xor 0. *)
+  Alcotest.(check bool) "frame2" true (L.equal out.(2).(0) L.One)
+
+(* exhaustive two-frame truth check of s27 against a reference evaluator *)
+let test_goodsim_matches_gate_eval () =
+  let c = Circuits.Iscas.s27 () in
+  let lv = Netlist.Levelize.of_circuit c in
+  let reference state vec =
+    let values = Array.make (C.node_count c) L.X in
+    Array.iteri (fun i id -> values.(id) <- vec.(i)) (C.inputs c);
+    Array.iteri (fun k id -> values.(id) <- state.(k)) (C.dffs c);
+    Array.iter
+      (fun id ->
+        let nd = C.node c id in
+        values.(id) <- G.eval nd.C.kind (Array.map (fun f -> values.(f)) nd.C.fanins))
+      lv.Netlist.Levelize.order;
+    values
+  in
+  let rng = Prng.Rng.create 123L in
+  let sim = Goodsim.create c in
+  for _ = 1 to 200 do
+    let vec = Vectors.random rng ~width:4 in
+    let expected = reference (Goodsim.state sim) vec in
+    Goodsim.step sim vec;
+    Array.iteri
+      (fun id v ->
+        if not (L.equal v (Goodsim.value sim id)) then
+          Alcotest.failf "node %d differs" id)
+      expected
+  done
+
+(* ------------------------------------------------------------ faultsim *)
+
+let s27_model () = Model.build (Scanins.Scan.insert (Circuits.Iscas.s27 ())).Scanins.Scan.circuit
+
+let test_faultsim_parallel_equals_serial () =
+  let m = s27_model () in
+  let rng = Prng.Rng.create 2L in
+  let width = C.input_count m.Model.circuit in
+  let seq = Vectors.random_seq rng ~width ~length:120 in
+  let ids = Array.init (Model.fault_count m) Fun.id in
+  let par = Faultsim.detection_times m ~fault_ids:ids seq in
+  Array.iteri
+    (fun i fid ->
+      let ser =
+        match Faultsim.detects_single m ~fault:fid seq with
+        | Some t -> t
+        | None -> -1
+      in
+      if par.(i) <> ser then
+        Alcotest.failf "fault %s: parallel %d serial %d" (Model.fault_name m fid)
+          par.(i) ser)
+    ids
+
+let test_faultsim_incremental_equals_batch () =
+  let m = s27_model () in
+  let rng = Prng.Rng.create 3L in
+  let width = C.input_count m.Model.circuit in
+  let seq = Vectors.random_seq rng ~width ~length:90 in
+  let ids = Array.init (Model.fault_count m) Fun.id in
+  let batch = Faultsim.detection_times m ~fault_ids:ids seq in
+  let s = Faultsim.create m ~fault_ids:ids in
+  Faultsim.advance s (Array.sub seq 0 30);
+  Faultsim.advance s (Array.sub seq 30 25);
+  Faultsim.advance s (Array.sub seq 55 35);
+  Alcotest.(check int) "time" 90 (Faultsim.time s);
+  Array.iteri
+    (fun i fid ->
+      let inc = match Faultsim.detection_time s fid with Some t -> t | None -> -1 in
+      Alcotest.(check int) (Model.fault_name m fid) batch.(i) inc)
+    ids
+
+let test_faultsim_detection_is_strict () =
+  (* With all-X inputs nothing can be strictly detected. *)
+  let m = s27_model () in
+  let width = C.input_count m.Model.circuit in
+  let seq = Array.make 20 (Array.make width L.X) in
+  let ids = Array.init (Model.fault_count m) Fun.id in
+  let times = Faultsim.detection_times m ~fault_ids:ids seq in
+  Array.iter (fun t -> Alcotest.(check int) "undetected" (-1) t) times
+
+let test_faultsim_injected_stuck_line () =
+  (* A stuck-at-1 on scan_sel: shifting differs from functional mode, so a
+     sequence exercising functional mode should detect it. *)
+  let scan = Scanins.Scan.insert (Circuits.Iscas.s27 ()) in
+  let m = Model.build scan.Scanins.Scan.circuit in
+  let sel = scan.Scanins.Scan.sel in
+  let fid = ref (-1) in
+  Array.iteri
+    (fun i f ->
+      match f.Faultmodel.Fault.site with
+      | Faultmodel.Fault.Stem n when n = sel && f.Faultmodel.Fault.stuck -> fid := i
+      | _ -> ())
+    m.Model.faults;
+  Alcotest.(check bool) "fault exists" true (!fid >= 0);
+  let rng = Prng.Rng.create 4L in
+  let seq = Vectors.random_seq rng ~width:(C.input_count m.Model.circuit) ~length:100 in
+  Alcotest.(check bool) "detected" true
+    (Faultsim.detects_single m ~fault:!fid seq <> None)
+
+let test_faultsim_states_and_effects () =
+  let m = s27_model () in
+  let ids = Array.init (Model.fault_count m) Fun.id in
+  let s = Faultsim.create m ~fault_ids:ids in
+  let rng = Prng.Rng.create 8L in
+  Faultsim.advance s (Vectors.random_seq rng ~width:(C.input_count m.Model.circuit) ~length:10);
+  let good = Faultsim.good_state s in
+  Array.iter
+    (fun fid ->
+      if Faultsim.detection_time s fid = None then begin
+        let faulty = Faultsim.faulty_state s fid in
+        Alcotest.(check int) "state width" (Array.length good) (Array.length faulty);
+        (* ff_effects are exactly the strict differences. *)
+        let expected =
+          List.filter
+            (fun k ->
+              L.is_binary good.(k) && L.is_binary faulty.(k)
+              && not (L.equal good.(k) faulty.(k)))
+            (List.init (Array.length good) Fun.id)
+        in
+        Alcotest.(check (list int)) "effects" expected (Faultsim.ff_effects s fid)
+      end)
+    ids
+
+let test_faultsim_untargeted_fault_errors () =
+  let m = s27_model () in
+  let s = Faultsim.create m ~fault_ids:[| 0; 1 |] in
+  Alcotest.(check bool) "raises" true
+    (match Faultsim.detection_time s 5 with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let prop_start_state_continuation =
+  (* Simulating [p @ q] in one go equals simulating q from the states
+     reached after p — the identity the omission trials rely on. *)
+  QCheck2.Test.make ~name:"mid-sequence continuation is exact" ~count:30
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let m = s27_model () in
+      let rng = Prng.Rng.create (Int64.of_int seed) in
+      let width = C.input_count m.Model.circuit in
+      let p = Vectors.random_seq rng ~width ~length:20 in
+      let q = Vectors.random_seq rng ~width ~length:20 in
+      let ids = Array.init (Model.fault_count m) Fun.id in
+      let whole = Faultsim.create m ~fault_ids:ids in
+      Faultsim.advance whole (Array.append p q);
+      let first = Faultsim.create m ~fault_ids:ids in
+      Faultsim.advance first p;
+      let undetected_after_p = Faultsim.undetected first in
+      let cont =
+        Faultsim.create
+          ~good_state:(Faultsim.good_state first)
+          ~faulty_states:(Faultsim.faulty_state first)
+          m ~fault_ids:undetected_after_p
+      in
+      Faultsim.advance cont q;
+      Array.for_all
+        (fun fid ->
+          let w = Faultsim.detection_time whole fid in
+          let c' =
+            match Faultsim.detection_time first fid with
+            | Some t -> Some t
+            | None ->
+              Option.map (fun t -> t + 20) (Faultsim.detection_time cont fid)
+          in
+          w = c')
+        ids)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "logicsim"
+    [
+      ( "vectors",
+        [
+          Alcotest.test_case "parse/print" `Quick test_vectors_parse_print;
+          Alcotest.test_case "fill_x" `Quick test_vectors_fill_x;
+          Alcotest.test_case "count" `Quick test_vectors_count;
+          q prop_fill_x_refines;
+        ] );
+      ( "goodsim",
+        [
+          Alcotest.test_case "x-state power-up" `Quick test_goodsim_xstate;
+          Alcotest.test_case "set_state/reset" `Quick test_goodsim_set_state;
+          Alcotest.test_case "width check" `Quick test_goodsim_vector_width;
+          Alcotest.test_case "run" `Quick test_goodsim_run_collects;
+          Alcotest.test_case "matches reference evaluator" `Quick
+            test_goodsim_matches_gate_eval;
+        ] );
+      ( "faultsim",
+        [
+          Alcotest.test_case "parallel = serial" `Quick
+            test_faultsim_parallel_equals_serial;
+          Alcotest.test_case "incremental = batch" `Quick
+            test_faultsim_incremental_equals_batch;
+          Alcotest.test_case "strict detection" `Quick
+            test_faultsim_detection_is_strict;
+          Alcotest.test_case "scan_sel stuck detected" `Quick
+            test_faultsim_injected_stuck_line;
+          Alcotest.test_case "states and effects" `Quick
+            test_faultsim_states_and_effects;
+          Alcotest.test_case "untargeted fault" `Quick
+            test_faultsim_untargeted_fault_errors;
+          q prop_start_state_continuation;
+        ] );
+    ]

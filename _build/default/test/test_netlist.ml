@@ -1,0 +1,469 @@
+(* Unit and property tests for the netlist substrate: three-valued logic,
+   gate semantics, the circuit builder's validation, levelization and the
+   .bench reader/writer. *)
+
+module L = Netlist.Logic
+module G = Netlist.Gate
+module C = Netlist.Circuit
+
+let logic = Alcotest.testable L.pp L.equal
+
+(* ------------------------------------------------------------ Logic *)
+
+let all3 = [ L.Zero; L.One; L.X ]
+
+let test_logic_not () =
+  Alcotest.check logic "not 0" L.One (L.bnot L.Zero);
+  Alcotest.check logic "not 1" L.Zero (L.bnot L.One);
+  Alcotest.check logic "not x" L.X (L.bnot L.X)
+
+let test_logic_and () =
+  Alcotest.check logic "0&x" L.Zero (L.band L.Zero L.X);
+  Alcotest.check logic "x&0" L.Zero (L.band L.X L.Zero);
+  Alcotest.check logic "1&1" L.One (L.band L.One L.One);
+  Alcotest.check logic "1&x" L.X (L.band L.One L.X);
+  Alcotest.check logic "x&x" L.X (L.band L.X L.X)
+
+let test_logic_or () =
+  Alcotest.check logic "1|x" L.One (L.bor L.One L.X);
+  Alcotest.check logic "0|0" L.Zero (L.bor L.Zero L.Zero);
+  Alcotest.check logic "0|x" L.X (L.bor L.Zero L.X)
+
+let test_logic_xor () =
+  Alcotest.check logic "1^1" L.Zero (L.bxor L.One L.One);
+  Alcotest.check logic "1^0" L.One (L.bxor L.One L.Zero);
+  Alcotest.check logic "x^0" L.X (L.bxor L.X L.Zero);
+  Alcotest.check logic "1^x" L.X (L.bxor L.One L.X)
+
+let test_logic_mux () =
+  (* Binary select picks the right input. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.check logic "sel=0" a (L.mux L.Zero a b);
+          Alcotest.check logic "sel=1" b (L.mux L.One a b))
+        all3)
+    all3;
+  (* Unknown select: common binary value survives, otherwise X. *)
+  Alcotest.check logic "x-sel same" L.One (L.mux L.X L.One L.One);
+  Alcotest.check logic "x-sel diff" L.X (L.mux L.X L.One L.Zero);
+  Alcotest.check logic "x-sel with x" L.X (L.mux L.X L.X L.X)
+
+let test_logic_chars () =
+  List.iter
+    (fun v -> Alcotest.check logic "roundtrip" v (L.of_char (L.to_char v)))
+    all3;
+  Alcotest.check_raises "bad char" (Invalid_argument "Logic.of_char: '?'")
+    (fun () -> ignore (L.of_char '?'))
+
+(* De Morgan over the three-valued domain. *)
+let prop_demorgan =
+  let arb = QCheck2.Gen.oneofl all3 in
+  QCheck2.Test.make ~name:"three-valued De Morgan" ~count:200
+    QCheck2.Gen.(pair arb arb)
+    (fun (a, b) ->
+      L.equal (L.bnot (L.band a b)) (L.bor (L.bnot a) (L.bnot b))
+      && L.equal (L.bnot (L.bor a b)) (L.band (L.bnot a) (L.bnot b)))
+
+(* X is the information order's bottom: refining an X input never flips a
+   binary output. *)
+let prop_monotone =
+  let arb = QCheck2.Gen.oneofl all3 in
+  QCheck2.Test.make ~name:"binary results are stable under X refinement"
+    ~count:500
+    QCheck2.Gen.(pair arb (oneofl [ `And; `Or; `Xor ]))
+    (fun (a, op) ->
+      let f x y =
+        match op with
+        | `And -> L.band x y
+        | `Or -> L.bor x y
+        | `Xor -> L.bxor x y
+      in
+      let out_with_x = f a L.X in
+      (not (L.is_binary out_with_x))
+      || List.for_all
+           (fun refinement -> L.equal (f a refinement) out_with_x)
+           [ L.Zero; L.One ])
+
+(* ------------------------------------------------------------- Gate *)
+
+let test_gate_eval () =
+  Alcotest.check logic "nand(1,1)" L.Zero (G.eval G.Nand [| L.One; L.One |]);
+  Alcotest.check logic "nand(0,x)" L.One (G.eval G.Nand [| L.Zero; L.X |]);
+  Alcotest.check logic "nor(0,0)" L.One (G.eval G.Nor [| L.Zero; L.Zero |]);
+  Alcotest.check logic "xnor(1,0)" L.Zero (G.eval G.Xnor [| L.One; L.Zero |]);
+  Alcotest.check logic "3-and" L.X (G.eval G.And [| L.One; L.X; L.One |]);
+  Alcotest.check logic "3-xor" L.One (G.eval G.Xor [| L.One; L.One; L.One |]);
+  Alcotest.check logic "buf" L.X (G.eval G.Buf [| L.X |]);
+  Alcotest.check logic "mux" L.One (G.eval G.Mux [| L.One; L.Zero; L.One |])
+
+let test_gate_arity_errors () =
+  Alcotest.check_raises "not/2"
+    (Invalid_argument "Gate.eval: NOT expects 1 fanins, got 2") (fun () ->
+      ignore (G.eval G.Not [| L.One; L.One |]));
+  Alcotest.check_raises "and/1"
+    (Invalid_argument "Gate.eval: AND expects >= 2 fanins, got 1") (fun () ->
+      ignore (G.eval G.And [| L.One |]))
+
+let test_gate_names () =
+  List.iter
+    (fun k ->
+      match G.of_string (G.to_string k) with
+      | Some k' -> Alcotest.(check bool) "roundtrip" true (G.equal_kind k k')
+      | None -> Alcotest.fail "kind did not roundtrip")
+    [ G.Input; G.Buf; G.Not; G.And; G.Nand; G.Or; G.Nor; G.Xor; G.Xnor; G.Mux; G.Dff ];
+  Alcotest.(check bool) "BUFF alias" true (G.of_string "buff" = Some G.Buf);
+  Alcotest.(check bool) "unknown" true (G.of_string "FOO" = None)
+
+let test_gate_meta () =
+  Alcotest.(check bool) "and ctrl" true (G.controlling G.And = Some L.Zero);
+  Alcotest.(check bool) "nor ctrl" true (G.controlling G.Nor = Some L.One);
+  Alcotest.(check bool) "xor ctrl" true (G.controlling G.Xor = None);
+  Alcotest.(check bool) "nand inv" true (G.inversion G.Nand);
+  Alcotest.(check bool) "or not inv" false (G.inversion G.Or)
+
+(* ---------------------------------------------------------- Builder *)
+
+let tiny () =
+  let b = C.Builder.create ~name:"tiny" () in
+  C.Builder.add_input b "a";
+  C.Builder.add_input b "b";
+  C.Builder.add_gate b "q" G.Dff [ "d" ];
+  C.Builder.add_gate b "d" G.And [ "a"; "q" ];
+  C.Builder.add_gate b "o" G.Nor [ "b"; "q" ];
+  C.Builder.add_output b "o";
+  C.Builder.build b
+
+let test_builder_basic () =
+  let c = tiny () in
+  Alcotest.(check int) "inputs" 2 (C.input_count c);
+  Alcotest.(check int) "outputs" 1 (C.output_count c);
+  Alcotest.(check int) "dffs" 1 (C.dff_count c);
+  Alcotest.(check int) "gates" 2 (C.gate_count c);
+  Alcotest.(check int) "nodes" 5 (C.node_count c);
+  let q = C.id_of_name_exn c "q" in
+  Alcotest.(check bool) "is_dff" true (C.is_dff c q);
+  Alcotest.(check bool) "not output" false (C.is_output c q);
+  (* q fans out to d and o. *)
+  Alcotest.(check int) "fanout" 2 (Array.length (C.fanout c q));
+  Alcotest.(check int) "pin fanout" 2 (C.fanout_count c q)
+
+let expect_invalid f =
+  match f () with
+  | exception C.Invalid_circuit _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_circuit"
+
+let test_builder_duplicate () =
+  expect_invalid (fun () ->
+      let b = C.Builder.create () in
+      C.Builder.add_input b "a";
+      C.Builder.add_input b "a";
+      C.Builder.build b)
+
+let test_builder_dangling () =
+  expect_invalid (fun () ->
+      let b = C.Builder.create () in
+      C.Builder.add_input b "a";
+      C.Builder.add_gate b "g" G.Not [ "nope" ];
+      C.Builder.build b)
+
+let test_builder_bad_output () =
+  expect_invalid (fun () ->
+      let b = C.Builder.create () in
+      C.Builder.add_input b "a";
+      C.Builder.add_output b "zz";
+      C.Builder.build b)
+
+let test_builder_arity () =
+  expect_invalid (fun () ->
+      let b = C.Builder.create () in
+      C.Builder.add_input b "a";
+      C.Builder.add_gate b "g" G.Mux [ "a"; "a" ];
+      C.Builder.build b)
+
+let test_builder_comb_cycle () =
+  expect_invalid (fun () ->
+      let b = C.Builder.create () in
+      C.Builder.add_input b "a";
+      C.Builder.add_gate b "g1" G.And [ "a"; "g2" ];
+      C.Builder.add_gate b "g2" G.Or [ "a"; "g1" ];
+      C.Builder.build b)
+
+let test_builder_dff_cycle_ok () =
+  (* Cycles through flip-flops are sequential feedback, not an error. *)
+  let c = tiny () in
+  Alcotest.(check string) "name" "tiny" (C.name c)
+
+let test_remap () =
+  let c = C.remap (tiny ()) ~rename:(fun s -> "p_" ^ s) in
+  Alcotest.(check bool) "renamed" true (C.find c "p_q" <> None);
+  Alcotest.(check bool) "old gone" true (C.find c "q" = None);
+  Alcotest.(check int) "same size" 5 (C.node_count c)
+
+(* --------------------------------------------------------- Levelize *)
+
+let test_levelize () =
+  let c = tiny () in
+  let lv = Netlist.Levelize.of_circuit c in
+  Alcotest.(check int) "two gates ordered" 2 (Array.length lv.Netlist.Levelize.order);
+  let a = C.id_of_name_exn c "a" and q = C.id_of_name_exn c "q" in
+  let d = C.id_of_name_exn c "d" in
+  Alcotest.(check int) "source level" 0 lv.Netlist.Levelize.level.(a);
+  Alcotest.(check int) "dff level" 0 lv.Netlist.Levelize.level.(q);
+  Alcotest.(check int) "gate level" 1 lv.Netlist.Levelize.level.(d)
+
+let test_levelize_order_valid () =
+  (* Every gate appears after all of its combinational fanins. *)
+  let c = Circuits.Catalog.circuit "s298" in
+  let lv = Netlist.Levelize.of_circuit c in
+  let seen = Array.make (C.node_count c) false in
+  Array.iter (fun i -> seen.(i) <- true) (C.inputs c);
+  Array.iter (fun i -> seen.(i) <- true) (C.dffs c);
+  Array.iter
+    (fun i ->
+      Array.iter
+        (fun f ->
+          if not seen.(f) then
+            Alcotest.failf "node %d evaluated before fanin %d" i f)
+        (C.node c i).C.fanins;
+      seen.(i) <- true)
+    lv.Netlist.Levelize.order
+
+(* ------------------------------------------------------------- Cone *)
+
+let test_cone_membership () =
+  let c = Circuits.Iscas.s27 () in
+  let id = C.id_of_name_exn c in
+  (* G17 = NOT(G11); combinational cone stops at FF outputs and PIs. *)
+  let cone = Netlist.Cone.fanin_cone c ~sequential:false [ id "G17" ] in
+  let names = List.map (fun i -> (C.node c i).C.name) cone in
+  List.iter
+    (fun n -> Alcotest.(check bool) ("has " ^ n) true (List.mem n names))
+    [ "G17"; "G11"; "G9"; "G5"; "G15"; "G16" ];
+  Alcotest.(check bool) "stops at FF (no G10)" false (List.mem "G10" names);
+  (* The sequential cone crosses flip-flops and reaches everything. *)
+  let seq_cone = Netlist.Cone.fanin_cone c ~sequential:true [ id "G17" ] in
+  Alcotest.(check bool) "sequential cone bigger" true
+    (List.length seq_cone > List.length cone)
+
+let test_cone_extract_consistent () =
+  (* Extracted cone computes the same value as the full circuit, given the
+     cone-input values observed in the full simulation. *)
+  let c = Circuits.Iscas.s27 () in
+  let root = C.id_of_name_exn c "G17" in
+  let sub = Netlist.Cone.extract c ~roots:[ root ] ~name:"g17_cone" in
+  Alcotest.(check int) "one output" 1 (C.output_count sub);
+  let rng = Prng.Rng.create 91L in
+  let sim = Logicsim.Goodsim.create c in
+  let sub_sim = Logicsim.Goodsim.create sub in
+  for _ = 1 to 50 do
+    Logicsim.Goodsim.step sim (Logicsim.Vectors.random rng ~width:4);
+    let sub_in =
+      Array.map
+        (fun i ->
+          Logicsim.Goodsim.value sim (C.id_of_name_exn c (C.node sub i).C.name))
+        (C.inputs sub)
+    in
+    Logicsim.Goodsim.step sub_sim sub_in;
+    Alcotest.(check bool) "same root value" true
+      (L.equal (Logicsim.Goodsim.value sim root)
+         (Logicsim.Goodsim.po_values sub_sim).(0))
+  done
+
+let test_cone_extract_errors () =
+  let c = Circuits.Iscas.s27 () in
+  let inv f =
+    Alcotest.(check bool) "rejects" true
+      (match f () with exception Invalid_argument _ -> true | _ -> false)
+  in
+  inv (fun () -> Netlist.Cone.extract c ~roots:[] ~name:"x");
+  inv (fun () ->
+      Netlist.Cone.extract c ~roots:[ C.id_of_name_exn c "G0" ] ~name:"x")
+
+(* ------------------------------------------------------------ Scoap *)
+
+let test_scoap_basic () =
+  (* o = AND(a, b): cc1(o) = cc1(a)+cc1(b)+1 = 3; cc0(o) = min+1 = 2. *)
+  let b = C.Builder.create ~name:"sc" () in
+  C.Builder.add_input b "a";
+  C.Builder.add_input b "b";
+  C.Builder.add_gate b "o" G.And [ "a"; "b" ];
+  C.Builder.add_output b "o";
+  let c = C.Builder.build b in
+  let t = Netlist.Scoap.compute c in
+  let o = C.id_of_name_exn c "o" in
+  let a = C.id_of_name_exn c "a" in
+  Alcotest.(check int) "cc1 o" 3 t.Netlist.Scoap.cc1.(o);
+  Alcotest.(check int) "cc0 o" 2 t.Netlist.Scoap.cc0.(o);
+  Alcotest.(check int) "co o" 0 t.Netlist.Scoap.co.(o);
+  (* Observing a requires b = 1: co(a) = co(o) + cc1(b) + 1 = 2. *)
+  Alcotest.(check int) "co a" 2 t.Netlist.Scoap.co.(a)
+
+let test_scoap_sequential () =
+  (* A flip-flop adds one unit of sequential depth per crossing. *)
+  let b = C.Builder.create ~name:"sq" () in
+  C.Builder.add_input b "a";
+  C.Builder.add_gate b "q" G.Dff [ "a" ];
+  C.Builder.add_gate b "o" G.Buf [ "q" ];
+  C.Builder.add_output b "o";
+  let c = C.Builder.build b in
+  let t = Netlist.Scoap.compute c in
+  let q = C.id_of_name_exn c "q" in
+  let a = C.id_of_name_exn c "a" in
+  Alcotest.(check int) "cc1 q = cc1 a + 1" (t.Netlist.Scoap.cc1.(a) + 1)
+    t.Netlist.Scoap.cc1.(q);
+  Alcotest.(check int) "co a crosses ff" 2 t.Netlist.Scoap.co.(a)
+
+let test_scoap_unobservable () =
+  (* A flip-flop feeding nothing keeps infinite observability. *)
+  let b = C.Builder.create ~name:"dead" () in
+  C.Builder.add_input b "a";
+  C.Builder.add_gate b "q" G.Dff [ "a" ];
+  C.Builder.add_gate b "o" G.Buf [ "a" ];
+  C.Builder.add_output b "o";
+  let c = C.Builder.build b in
+  let t = Netlist.Scoap.compute c in
+  let q = C.id_of_name_exn c "q" in
+  Alcotest.(check int) "co q infinite" Netlist.Scoap.infinite
+    t.Netlist.Scoap.co.(q)
+
+let test_scoap_scan_makes_s27_finite () =
+  (* Raw s27 has no reset: some states are unreachable from power-up and
+     their SCOAP measures are legitimately infinite (e.g. G7 can never
+     become 0 without scan).  After scan insertion every flip-flop is
+     controllable through the chain and observable through scan_out, so
+     every measure must be finite — exactly the property the paper's
+     approach builds on. *)
+  let raw = Circuits.Iscas.s27 () in
+  let t_raw = Netlist.Scoap.compute raw in
+  Alcotest.(check bool) "raw s27 has infinite measures" true
+    (Array.exists (fun v -> v >= Netlist.Scoap.infinite) t_raw.Netlist.Scoap.cc1);
+  let scan = (Scanins.Scan.insert raw).Scanins.Scan.circuit in
+  let t = Netlist.Scoap.compute scan in
+  Array.iter
+    (fun nd ->
+      let n = nd.C.id in
+      if t.Netlist.Scoap.cc0.(n) >= Netlist.Scoap.infinite
+         || t.Netlist.Scoap.cc1.(n) >= Netlist.Scoap.infinite
+         || t.Netlist.Scoap.co.(n) >= Netlist.Scoap.infinite
+      then Alcotest.failf "node %s not testable in s27_scan" nd.C.name)
+    (C.nodes scan)
+
+(* ------------------------------------------------------ Bench format *)
+
+let test_bench_roundtrip_s27 () =
+  let c = Circuits.Iscas.s27 () in
+  let c2 = Netlist.Bench_format.parse_string ~name:"s27"
+      (Netlist.Bench_format.to_string c) in
+  Alcotest.(check int) "nodes" (C.node_count c) (C.node_count c2);
+  Alcotest.(check int) "inputs" (C.input_count c) (C.input_count c2);
+  Alcotest.(check int) "dffs" (C.dff_count c) (C.dff_count c2);
+  (* Same fanins per name. *)
+  Array.iter
+    (fun nd ->
+      let nd2 = C.node c2 (C.id_of_name_exn c2 nd.C.name) in
+      Alcotest.(check bool) "kind" true (G.equal_kind nd.C.kind nd2.C.kind);
+      let names c nd =
+        Array.to_list (Array.map (fun f -> (C.node c f).C.name) nd.C.fanins)
+      in
+      Alcotest.(check (list string)) "fanins" (names c nd) (names c2 nd2))
+    (C.nodes c)
+
+let test_bench_parse_errors () =
+  let expect_parse_error s =
+    match Netlist.Bench_format.parse_string ~name:"t" s with
+    | exception Netlist.Bench_format.Parse_error _ -> ()
+    | _ -> Alcotest.fail "expected Parse_error"
+  in
+  expect_parse_error "INPUT(a";
+  expect_parse_error "g = FOO(a)";
+  expect_parse_error "g = ";
+  expect_parse_error "INPUT(a, b)";
+  expect_parse_error "= AND(a, b)"
+
+let test_bench_comments_and_blank () =
+  let c =
+    Netlist.Bench_format.parse_string ~name:"t"
+      "# a comment\n\nINPUT(a)  # trailing\n\nOUTPUT(g)\ng = NOT(a)\n"
+  in
+  Alcotest.(check int) "one gate" 1 (C.gate_count c)
+
+let prop_bench_roundtrip =
+  (* Random synthetic circuits survive the .bench writer/parser. *)
+  QCheck2.Test.make ~name:"bench roundtrip preserves structure" ~count:20
+    QCheck2.Gen.(pair (int_range 1 5) (int_range 5 40))
+    (fun (pis, gates) ->
+      let c =
+        Circuits.Synthetic.generate ~name:"prop" ~pis ~ffs:3 ~gates
+          ~seed:(Int64.of_int (pis * 1000 + gates)) ()
+      in
+      let c2 =
+        Netlist.Bench_format.parse_string ~name:"prop"
+          (Netlist.Bench_format.to_string c)
+      in
+      C.node_count c = C.node_count c2
+      && C.gate_count c = C.gate_count c2
+      && C.output_count c = C.output_count c2)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "netlist"
+    [
+      ( "logic",
+        [
+          Alcotest.test_case "not" `Quick test_logic_not;
+          Alcotest.test_case "and" `Quick test_logic_and;
+          Alcotest.test_case "or" `Quick test_logic_or;
+          Alcotest.test_case "xor" `Quick test_logic_xor;
+          Alcotest.test_case "mux" `Quick test_logic_mux;
+          Alcotest.test_case "chars" `Quick test_logic_chars;
+          q prop_demorgan;
+          q prop_monotone;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "eval" `Quick test_gate_eval;
+          Alcotest.test_case "arity errors" `Quick test_gate_arity_errors;
+          Alcotest.test_case "names" `Quick test_gate_names;
+          Alcotest.test_case "controlling/inversion" `Quick test_gate_meta;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "basic accessors" `Quick test_builder_basic;
+          Alcotest.test_case "duplicate signal" `Quick test_builder_duplicate;
+          Alcotest.test_case "dangling fanin" `Quick test_builder_dangling;
+          Alcotest.test_case "dangling output" `Quick test_builder_bad_output;
+          Alcotest.test_case "mux arity" `Quick test_builder_arity;
+          Alcotest.test_case "combinational cycle" `Quick test_builder_comb_cycle;
+          Alcotest.test_case "dff cycle allowed" `Quick test_builder_dff_cycle_ok;
+          Alcotest.test_case "remap" `Quick test_remap;
+        ] );
+      ( "levelize",
+        [
+          Alcotest.test_case "levels" `Quick test_levelize;
+          Alcotest.test_case "order respects fanins" `Quick test_levelize_order_valid;
+        ] );
+      ( "cone",
+        [
+          Alcotest.test_case "membership" `Quick test_cone_membership;
+          Alcotest.test_case "extraction consistent" `Quick
+            test_cone_extract_consistent;
+          Alcotest.test_case "errors" `Quick test_cone_extract_errors;
+        ] );
+      ( "scoap",
+        [
+          Alcotest.test_case "combinational formulas" `Quick test_scoap_basic;
+          Alcotest.test_case "sequential depth" `Quick test_scoap_sequential;
+          Alcotest.test_case "unobservable node" `Quick test_scoap_unobservable;
+          Alcotest.test_case "scan insertion makes s27 finite" `Quick
+            test_scoap_scan_makes_s27_finite;
+        ] );
+      ( "bench format",
+        [
+          Alcotest.test_case "s27 roundtrip" `Quick test_bench_roundtrip_s27;
+          Alcotest.test_case "parse errors" `Quick test_bench_parse_errors;
+          Alcotest.test_case "comments/blank lines" `Quick test_bench_comments_and_blank;
+          q prop_bench_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,152 @@
+(* Section-3 translation: the translated sequence must have exactly the
+   source set's tester cycle count, the right scan_sel structure, and —
+   the paper's guarantee — detect every fault the source set detects. *)
+
+module C = Netlist.Circuit
+module L = Netlist.Logic
+module Model = Faultmodel.Model
+module Scan = Scanins.Scan
+module Scan_test = Scanins.Scan_test
+module Translate = Translation.Translate
+module Vectors = Logicsim.Vectors
+
+let mk_test si t_rows =
+  {
+    Scan_test.scan_in = Vectors.parse si;
+    vectors = Array.of_list (List.map Vectors.parse t_rows);
+  }
+
+let s27 () = Scan.insert (Circuits.Iscas.s27 ())
+
+let paper_table2 () =
+  (* The paper's Table 2 test set for s27_scan. *)
+  [
+    mk_test "011" [ "0000" ];
+    mk_test "011" [ "1101" ];
+    mk_test "000" [ "1010" ];
+    mk_test "110" [ "0100"; "0111"; "1001" ];
+  ]
+
+let test_length_equals_cycles () =
+  let scan = s27 () in
+  let tests = paper_table2 () in
+  let seq = Translate.run_sparse scan ~tests in
+  Alcotest.(check int) "length = cycle count"
+    (Scan_test.set_cycles ~nsv:(Scan.nsv scan) tests)
+    (Array.length seq);
+  (* Paper Table 3 has 21 rows for this set. *)
+  Alcotest.(check int) "21 rows like Table 3" 21 (Array.length seq)
+
+let test_sel_structure () =
+  (* scan_sel pattern: 3 ones, 1 zero, 3 ones, 1 zero, 3 ones, 1 zero,
+     3 ones, 3 zeros, 3 ones (final scan-out). *)
+  let scan = s27 () in
+  let seq = Translate.run_sparse scan ~tests:(paper_table2 ()) in
+  let sel = Scan.sel_position scan in
+  let pattern = String.init (Array.length seq) (fun t -> L.to_char seq.(t).(sel)) in
+  Alcotest.(check string) "sel pattern" "111011101110111000111" pattern
+
+let test_scan_in_values () =
+  (* First load: SI=011 must be fed reversed (1,1,0) — paper Table 3 rows
+     0-2 show scan_inp = 1,1,0. *)
+  let scan = s27 () in
+  let seq = Translate.run_sparse scan ~tests:(paper_table2 ()) in
+  let inp = Scan.inp_position scan ~chain:0 in
+  Alcotest.(check string) "feed order" "110"
+    (String.init 3 (fun t -> L.to_char seq.(t).(inp)))
+
+let test_functional_vectors_copied () =
+  let scan = s27 () in
+  let seq = Translate.run_sparse scan ~tests:(paper_table2 ()) in
+  (* Row 3 is T1 = 0000 with scan_sel = 0 (Table 3). *)
+  let row3 = String.init 4 (fun i -> L.to_char seq.(3).(i)) in
+  Alcotest.(check string) "T1" "0000" row3;
+  Alcotest.(check bool) "sel low" true (L.equal seq.(3).(Scan.sel_position scan) L.Zero)
+
+let test_fill_specifies_everything () =
+  let scan = s27 () in
+  let rng = Prng.Rng.create 33L in
+  let seq = Translate.run scan ~tests:(paper_table2 ()) ~rng in
+  Array.iter
+    (fun v -> Array.iter (fun b -> Alcotest.(check bool) "binary" true (L.is_binary b)) v)
+    seq
+
+let test_translation_preserves_detection () =
+  (* The paper's guarantee: the translated sequence detects everything the
+     source set detects. *)
+  let scan = s27 () in
+  let m = Model.build scan.Scan.circuit in
+  let all = Array.init (Model.fault_count m) Fun.id in
+  let tests = paper_table2 () in
+  let detected_by_set = Baseline.Detect.set scan m ~fault_ids:all tests in
+  Alcotest.(check bool) "set detects something" true
+    (Array.length detected_by_set > 20);
+  let rng = Prng.Rng.create 34L in
+  let seq = Translate.run scan ~tests ~rng in
+  let times = Logicsim.Faultsim.detection_times m ~fault_ids:detected_by_set seq in
+  Array.iteri
+    (fun i t ->
+      if t < 0 then
+        Alcotest.failf "translation lost %s"
+          (Model.fault_name m detected_by_set.(i)))
+    times
+
+let test_translation_multichain () =
+  let c = Circuits.Catalog.circuit "s298" in
+  let scan = Scan.insert ~chains:2 c in
+  let m = Model.build scan.Scan.circuit in
+  let nff = C.dff_count c in
+  let rng = Prng.Rng.create 35L in
+  let tests =
+    [
+      { Scan_test.scan_in = Array.init nff (fun k -> L.of_bool (k mod 2 = 0));
+        vectors = [| Logicsim.Vectors.random rng ~width:3 |] };
+    ]
+  in
+  let seq = Translate.run scan ~tests ~rng in
+  Alcotest.(check int) "cycles" (Scan_test.set_cycles ~nsv:(Scan.nsv scan) tests)
+    (Array.length seq);
+  (* Simulate the load part: state after nsv cycles equals scan_in. *)
+  let sim = Logicsim.Goodsim.create scan.Scan.circuit in
+  Array.iteri (fun t v -> if t < Scan.nsv scan then Logicsim.Goodsim.step sim v) seq;
+  let got = Logicsim.Goodsim.state sim in
+  Array.iteri
+    (fun k want ->
+      if not (L.equal got.(k) want) then Alcotest.failf "ff %d wrong" k)
+    (List.hd tests).Scan_test.scan_in;
+  ignore m
+
+let prop_translation_cycles =
+  QCheck2.Test.make ~name:"translated length always equals set cycles" ~count:30
+    QCheck2.Gen.(
+      list_size (int_range 1 6)
+        (pair
+           (string_size ~gen:(oneofl [ '0'; '1'; 'x' ]) (return 3))
+           (list_size (int_range 1 4)
+              (string_size ~gen:(oneofl [ '0'; '1' ]) (return 4)))))
+    (fun specs ->
+      let scan = s27 () in
+      let tests = List.map (fun (si, rows) -> mk_test si rows) specs in
+      let seq = Translate.run_sparse scan ~tests in
+      Array.length seq = Scan_test.set_cycles ~nsv:(Scan.nsv scan) tests)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "translation"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "length = cycles (Table 3)" `Quick test_length_equals_cycles;
+          Alcotest.test_case "scan_sel pattern" `Quick test_sel_structure;
+          Alcotest.test_case "scan-in feed order" `Quick test_scan_in_values;
+          Alcotest.test_case "functional vectors" `Quick test_functional_vectors_copied;
+          Alcotest.test_case "random fill" `Quick test_fill_specifies_everything;
+          q prop_translation_cycles;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "detection preserved" `Quick
+            test_translation_preserves_detection;
+          Alcotest.test_case "multichain" `Quick test_translation_multichain;
+        ] );
+    ]
