@@ -23,6 +23,7 @@ type options = {
   mutable ablation : bool;
   mutable kernels : bool;
   mutable jobs : int;
+  mutable json : string;
 }
 
 let parse_args () =
@@ -34,6 +35,7 @@ let parse_args () =
       ablation = true;
       kernels = true;
       jobs = max 1 (min 8 (Domain.recommended_domain_count () - 1));
+      json = "BENCH_1.json";
     }
   in
   let rec go = function
@@ -58,6 +60,9 @@ let parse_args () =
       go rest
     | "--jobs" :: v :: rest ->
       o.jobs <- max 1 (int_of_string v);
+      go rest
+    | "--json" :: v :: rest ->
+      o.json <- v;
       go rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
@@ -296,6 +301,95 @@ let ablation_atpg_depth () =
     [ "s298" ];
   print_newline ()
 
+(* ------------------------------------------- engine comparison (tentpole) *)
+
+(* Dense (full-evaluation) vs event-driven Faultsim.advance on the two
+   largest quick-scale profiles.  Also the acceptance check that both
+   engines agree on every detection time. *)
+
+type engine_row = {
+  eb_circuit : string;
+  eb_frames : int;
+  eb_faults : int;
+  eb_detected : int;
+  eb_dense_s : float;
+  eb_event_s : float;
+  eb_speedup : float;
+  eb_par_jobs : int;
+  eb_event_par_s : float;
+}
+
+let compare_circuits = [ "s5378"; "s35932" ]
+
+let best_of n f =
+  let best = ref infinity in
+  for _ = 1 to n do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    best := min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+let faultsim_compare ~scale =
+  print_endline "--- Faultsim.advance: dense vs event-driven engine ---";
+  print_endline
+    "circ        faults  frames   dense(s)  event(s)  speedup  par(s) jobs";
+  let rows =
+    List.map
+      (fun name ->
+        let c = Circuits.Catalog.circuit ~scale name in
+        let scan = Scanins.Scan.insert c in
+        let model = Faultmodel.Model.build scan.Scanins.Scan.circuit in
+        let rng = Prng.Rng.create 42L in
+        let width = Netlist.Circuit.input_count scan.Scanins.Scan.circuit in
+        let frames = 96 in
+        let seq = Logicsim.Vectors.random_seq rng ~width ~length:frames in
+        let ids = Array.init (Faultmodel.Model.fault_count model) Fun.id in
+        let run engine jobs =
+          Logicsim.Faultsim.detection_times ~engine ~jobs model ~fault_ids:ids
+            seq
+        in
+        let dense_times = ref [||] and event_times = ref [||] in
+        let dense_s =
+          best_of 3 (fun () -> dense_times := run Logicsim.Faultsim.Dense 1)
+        in
+        let event_s =
+          best_of 3 (fun () -> event_times := run Logicsim.Faultsim.Event 1)
+        in
+        let par_jobs = max 2 (min 8 (Domain.recommended_domain_count () - 1)) in
+        let par_times = ref [||] in
+        let event_par_s =
+          best_of 3 (fun () ->
+              par_times := run Logicsim.Faultsim.Event par_jobs)
+        in
+        if !dense_times <> !event_times || !dense_times <> !par_times then
+          failwith
+            (Printf.sprintf
+               "engine disagreement on %s: event/parallel detection times \
+                differ from dense"
+               name);
+        let detected =
+          Array.fold_left (fun a t -> if t >= 0 then a + 1 else a) 0 !dense_times
+        in
+        Printf.printf "%-10s %7d %7d %9.3f %9.3f %8.2fx %7.3f %4d\n%!" name
+          (Array.length ids) frames dense_s event_s (dense_s /. event_s)
+          event_par_s par_jobs;
+        {
+          eb_circuit = name;
+          eb_frames = frames;
+          eb_faults = Array.length ids;
+          eb_detected = detected;
+          eb_dense_s = dense_s;
+          eb_event_s = event_s;
+          eb_speedup = dense_s /. event_s;
+          eb_par_jobs = par_jobs;
+          eb_event_par_s = event_par_s;
+        })
+      compare_circuits
+  in
+  print_newline ();
+  rows
+
 (* ----------------------------------------------------- bechamel kernels *)
 
 let kernels () =
@@ -382,6 +476,7 @@ let kernels () =
     List.map (fun instance -> Analyze.all ols instance raw) instances
   in
   let results = benchmark () in
+  let collected = ref [] in
   List.iter
     (fun tbl ->
       let rows = ref [] in
@@ -392,11 +487,80 @@ let kernels () =
         (fun (name, ols_result) ->
           match Analyze.OLS.estimates ols_result with
           | Some (est :: _) ->
-            Printf.printf "%-48s %12.3f ms/run\n" name (est /. 1e6)
+            Printf.printf "%-48s %12.3f ms/run\n" name (est /. 1e6);
+            collected := (name, est) :: !collected
           | Some [] | None -> Printf.printf "%-48s (no estimate)\n" name)
         (List.sort compare !rows))
     results;
-  print_newline ()
+  print_newline ();
+  List.rev !collected
+
+(* --------------------------------------------------------- JSON output *)
+
+(* Machine-readable benchmark record (schema: EXPERIMENTS.md §"BENCH_*.json
+   schema").  Hand-rolled writer — the repo deliberately has no JSON
+   dependency. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json path ~scale ~jobs ~total_wall_s ~pipelines ~engines
+    ~kernel_rows =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let seq f xs = String.concat ",\n" (List.map f xs) in
+  add "{\n";
+  add "  \"schema\": \"scanatpg-bench/1\",\n";
+  add "  \"scale\": \"%s\",\n" (json_escape scale);
+  add "  \"jobs\": %d,\n" jobs;
+  add "  \"total_wall_s\": %.3f,\n" total_wall_s;
+  add "  \"pipelines\": [\n%s\n  ],\n"
+    (seq
+       (fun ((r : Core.Pipeline.result), wall) ->
+         Printf.sprintf
+           "    {\"circuit\": \"%s\", \"wall_s\": %.3f, \"targeted\": %d, \
+            \"detected\": %d, \"coverage\": %.2f, \"test_len\": %d, \
+            \"omit_len\": %d, \"baseline_cycles\": %d}"
+           (json_escape r.Core.Pipeline.circuit)
+           wall r.Core.Pipeline.row5.Core.Pipeline.faults
+           r.Core.Pipeline.row5.Core.Pipeline.detected
+           r.Core.Pipeline.row5.Core.Pipeline.fcov
+           r.Core.Pipeline.row6.Core.Pipeline.test_len.Core.Pipeline.total
+           r.Core.Pipeline.row6.Core.Pipeline.omit_len.Core.Pipeline.total
+           r.Core.Pipeline.row6.Core.Pipeline.baseline_cycles)
+       pipelines);
+  add "  \"faultsim\": [\n%s\n  ],\n"
+    (seq
+       (fun e ->
+         Printf.sprintf
+           "    {\"circuit\": \"%s\", \"frames\": %d, \"faults\": %d, \
+            \"detected\": %d, \"dense_s\": %.6f, \"event_s\": %.6f, \
+            \"event_speedup\": %.3f, \"parallel_jobs\": %d, \
+            \"event_parallel_s\": %.6f}"
+           (json_escape e.eb_circuit) e.eb_frames e.eb_faults e.eb_detected
+           e.eb_dense_s e.eb_event_s e.eb_speedup e.eb_par_jobs
+           e.eb_event_par_s)
+       engines);
+  add "  \"kernels\": [\n%s\n  ]\n"
+    (seq
+       (fun (name, ns) ->
+         Printf.sprintf "    {\"name\": \"%s\", \"ns_per_run\": %.1f}"
+           (json_escape name) ns)
+       kernel_rows);
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
 
 (* ----------------------------------------------------------------- main *)
 
@@ -409,15 +573,17 @@ let () =
     (match o.scale with Circuits.Profiles.Quick -> "quick" | _ -> "full")
     o.jobs;
   let t0 = Unix.gettimeofday () in
-  let results =
+  let timed_results =
     parallel_map ~jobs:o.jobs
       (fun name ->
         let t = Unix.gettimeofday () in
         let r = Core.Pipeline.run ~scale:o.scale name in
-        Printf.printf "  %-8s done in %.1fs\n%!" name (Unix.gettimeofday () -. t);
-        r)
+        let wall = Unix.gettimeofday () -. t in
+        Printf.printf "  %-8s done in %.1fs\n%!" name wall;
+        r, wall)
       o.circuits
   in
+  let results = List.map fst timed_results in
   Printf.printf "all pipelines done in %.1fs\n\n%!" (Unix.gettimeofday () -. t0);
   if List.mem 5 o.tables then begin
     print_endline "=== Table 5 (measured) ===";
@@ -445,4 +611,10 @@ let () =
     ablation_atpg_depth ();
     ablation_chains ()
   end;
-  if o.kernels then kernels ()
+  let engines = if o.kernels then faultsim_compare ~scale:o.scale else [] in
+  let kernel_rows = if o.kernels then kernels () else [] in
+  write_bench_json o.json
+    ~scale:(match o.scale with Circuits.Profiles.Quick -> "quick" | _ -> "full")
+    ~jobs:o.jobs
+    ~total_wall_s:(Unix.gettimeofday () -. t0)
+    ~pipelines:timed_results ~engines ~kernel_rows

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Pre-merge gate: everything must build (libraries, executables, examples,
+# docs) and the whole test suite must pass.  Run from the repo root:
+#
+#     bin/check.sh
+#
+# CI and local development use the same gate; a change is mergeable only
+# when this script exits 0.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "check: OK"

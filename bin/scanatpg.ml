@@ -50,6 +50,13 @@ let out_arg =
     value & opt (some string) None
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the result to $(docv).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Fault-simulation parallelism (OCaml domains). Results are \
+              identical at any value; see DESIGN.md \xc2\xa76.")
+
 (* ------------------------------------------------------------- helpers *)
 
 let write_sequence path seq =
@@ -75,11 +82,12 @@ let read_sequence path =
        with End_of_file -> ());
       Array.of_list (List.rev !acc))
 
-let setup_scan ~chains ~seed circuit =
+let setup_scan ~chains ~seed ~jobs circuit =
   let scan = Scanins.Scan.insert ~chains circuit in
   let model = Faultmodel.Model.build scan.Scanins.Scan.circuit in
   let cfg =
-    { (Core.Config.for_circuit circuit) with Core.Config.chains; seed }
+    Core.Config.with_sim_jobs jobs
+      { (Core.Config.for_circuit circuit) with Core.Config.chains; seed }
   in
   scan, model, cfg
 
@@ -137,9 +145,9 @@ let generate_cmd =
       & info [ "tester" ] ~docv:"FILE"
           ~doc:"Also write a tester program (stimulus + expected responses).")
   in
-  let run spec scale seed chains no_compact out tester =
+  let run spec scale seed chains jobs no_compact out tester =
     let c = load_circuit ~scale spec in
-    let scan, model, cfg = setup_scan ~chains ~seed c in
+    let scan, model, cfg = setup_scan ~chains ~seed ~jobs c in
     let sk = Atpg.Scan_knowledge.create scan in
     let flow = Core.Flow.generate cfg sk model in
     Printf.printf
@@ -179,8 +187,8 @@ let generate_cmd =
     (Cmd.info "generate"
        ~doc:"Generate (and compact) a unified test sequence for a circuit.")
     Term.(
-      const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ no_compact
-      $ out_arg $ tester_arg)
+      const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ jobs_arg
+      $ no_compact $ out_arg $ tester_arg)
 
 (* ------------------------------------------------------------- compact *)
 
@@ -191,9 +199,9 @@ let compact_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"SEQFILE" ~doc:"Sequence file (one 01x vector per line).")
   in
-  let run spec scale seed chains seqfile out =
+  let run spec scale seed chains jobs seqfile out =
     let c = load_circuit ~scale spec in
-    let scan, model, cfg = setup_scan ~chains ~seed c in
+    let scan, model, cfg = setup_scan ~chains ~seed ~jobs c in
     let seq = read_sequence seqfile in
     let nf = Faultmodel.Model.fault_count model in
     let targets =
@@ -215,8 +223,8 @@ let compact_cmd =
     (Cmd.info "compact"
        ~doc:"Statically compact a test sequence (restoration, then omission).")
     Term.(
-      const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ seq_arg
-      $ out_arg)
+      const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ jobs_arg
+      $ seq_arg $ out_arg)
 
 (* --------------------------------------------------------------- table *)
 

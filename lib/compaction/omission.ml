@@ -1,15 +1,17 @@
 module Model = Faultmodel.Model
 module Faultsim = Logicsim.Faultsim
+module View = Logicsim.Vectors.View
 
 type config = {
   max_passes : int;
   max_trials : int option;
   window : int;
   horizon : int;
+  jobs : int;
 }
 
 let default_config =
-  { max_passes = 5; max_trials = None; window = 48; horizon = 128 }
+  { max_passes = 5; max_trials = None; window = 48; horizon = 128; jobs = 1 }
 
 (* One left-to-right pass trying to omit [chunk] consecutive vectors per
    trial.  [det] maps target index -> detection time in the current
@@ -38,16 +40,16 @@ let one_pass model (targets : Target.t) config ~chunk seq det budget =
       Faultsim.create
         ~good_state:(Faultsim.good_state !session)
         ~faulty_states:(Faultsim.faulty_state !session)
-        model ~fault_ids:ids
+        ~jobs:config.jobs model ~fault_ids:ids
     in
-    let len = Array.length suffix in
+    let len = View.length suffix in
     let chunk = 64 in
     let pos = ref 0 in
     let ptr = ref 0 in
     let ok = ref true in
     while !ok && !pos < len && Faultsim.detected_count s < Array.length ids do
       let n = min chunk (len - !pos) in
-      Faultsim.advance s (Array.sub suffix !pos n);
+      Faultsim.advance_view s (View.slice suffix !pos n);
       pos := !pos + n;
       (* Every fault whose old detection lies >= horizon frames behind the
          simulated front must have re-detected by now. *)
@@ -86,7 +88,9 @@ let one_pass model (targets : Target.t) config ~chunk seq det budget =
     (* Faults detected soonest after [i] first: likeliest to break, and the
        resulting word grouping clusters detection times. *)
     Array.sort (fun a b -> compare det.(a) det.(b)) subset;
-    let suffix = Array.sub !seq (!i + c) (len - !i - c) in
+    (* The suffix is a zero-copy window: a trial no longer costs an
+       O(length) slice before the first simulated frame. *)
+    let suffix = View.slice (View.of_seq !seq) (!i + c) (len - !i - c) in
     let base = !i and old_base = !i + c in
     let accept =
       if Array.length subset = 0 then Some [||]
@@ -104,7 +108,7 @@ let one_pass model (targets : Target.t) config ~chunk seq det budget =
     (match accept with
      | Some new_times ->
        changed := true;
-       seq := Array.append (Array.sub !seq 0 !i) suffix;
+       seq := Array.append (Array.sub !seq 0 !i) (View.to_seq suffix);
        Array.iteri (fun j k -> det.(k) <- new_times.(j)) subset
      | None ->
        (* Keep the first vector of the window and retry from the next

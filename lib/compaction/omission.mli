@@ -20,6 +20,9 @@ type config = {
   (** a trial is rejected unless every affected fault re-detects within
       this many frames of its previous detection point — conservative, but
       it bounds each trial's simulation cost *)
+  jobs : int;
+  (** simulation domains per probe session (see [Faultsim.create]);
+      results are schedule-independent *)
 }
 
 val default_config : config

@@ -1,19 +1,11 @@
 module Model = Faultmodel.Model
 module Faultsim = Logicsim.Faultsim
+module View = Logicsim.Vectors.View
 
-(* Vectors of [seq] selected by [keep], optionally limited to positions
-   <= [limit]. *)
-let subsequence ?limit seq keep =
-  let hi =
-    match limit with
-    | Some l -> min l (Array.length seq - 1)
-    | None -> Array.length seq - 1
-  in
-  let acc = ref [] in
-  for i = hi downto 0 do
-    if keep.(i) then acc := seq.(i) :: !acc
-  done;
-  Array.of_list !acc
+(* Zero-copy view of [seq]'s vectors selected by [keep], optionally limited
+   to positions <= [limit] — every probe used to materialize this
+   selection. *)
+let subsequence ?limit seq keep = View.masked ?limit seq keep
 
 (* Faults are processed in batches of one simulator word, in order of
    decreasing detection time.  A batch is first simulated together over the
@@ -46,7 +38,9 @@ let run model seq (targets : Target.t) =
       let ids =
         Array.of_list (List.map (fun k -> targets.Target.fault_ids.(k)) pending)
       in
-      let times = Faultsim.detection_times model ~fault_ids:ids (subsequence seq keep) in
+      let times =
+        Faultsim.detection_times_view model ~fault_ids:ids (subsequence seq keep)
+      in
       List.iteri
         (fun i k -> if times.(i) >= 0 then detected.(k) <- true)
         pending
@@ -73,7 +67,8 @@ let run model seq (targets : Target.t) =
         finished := true
       else begin
         match
-          Faultsim.detects_single model ~fault:fid (subsequence ~limit:dt seq keep)
+          Faultsim.detects_single_view model ~fault:fid
+            (subsequence ~limit:dt seq keep)
         with
         | Some _ -> finished := true
         | None -> ()
@@ -101,4 +96,4 @@ let run model seq (targets : Target.t) =
         end)
       batch
   done;
-  subsequence seq keep
+  View.to_seq (subsequence seq keep)

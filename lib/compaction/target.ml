@@ -6,8 +6,8 @@ type t = {
   det_times : int array;
 }
 
-let compute model seq ~fault_ids =
-  let times = Faultsim.detection_times model ~fault_ids seq in
+let compute ?jobs model seq ~fault_ids =
+  let times = Faultsim.detection_times ?jobs model ~fault_ids seq in
   let kept = ref [] in
   Array.iteri
     (fun i fid -> if times.(i) >= 0 then kept := (fid, times.(i)) :: !kept)

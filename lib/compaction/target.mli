@@ -11,9 +11,14 @@ type t = {
 }
 
 (** [compute model seq ~fault_ids] simulates [seq] from power-up and keeps
-    the faults of [fault_ids] that it detects. *)
+    the faults of [fault_ids] that it detects.  [jobs] is the simulation
+    parallelism (see [Faultsim.create]). *)
 val compute :
-  Faultmodel.Model.t -> Logicsim.Vectors.t -> fault_ids:int array -> t
+  ?jobs:int ->
+  Faultmodel.Model.t ->
+  Logicsim.Vectors.t ->
+  fault_ids:int array ->
+  t
 
 val count : t -> int
 

@@ -8,6 +8,7 @@ type t = {
   redundancy_budget : int;
   omission : Compaction.Omission.config;
   chains : int;
+  sim_jobs : int;
 }
 
 let default =
@@ -21,6 +22,13 @@ let default =
     redundancy_budget = 3000;
     omission = Compaction.Omission.default_config;
     chains = 1;
+    sim_jobs = 1;
   }
 
 let for_circuit c = { default with atpg = Atpg.Seq_atpg.config_for c }
+
+let with_sim_jobs jobs cfg =
+  let jobs = max 1 jobs in
+  { cfg with
+    sim_jobs = jobs;
+    omission = { cfg.omission with Compaction.Omission.jobs } }

@@ -17,6 +17,9 @@ type t = {
   redundancy_budget : int;  (** PODEM backtracks allowed per proof *)
   omission : Compaction.Omission.config;
   chains : int;  (** scan chains inserted *)
+  sim_jobs : int;
+  (** domains the fault simulator may schedule fault groups across
+      (default 1 = sequential; results are identical at any value) *)
 }
 
 val default : t
@@ -24,3 +27,8 @@ val default : t
 (** Default tuned to the circuit: ATPG depths grow with the combinational
     depth. *)
 val for_circuit : Netlist.Circuit.t -> t
+
+(** [with_sim_jobs n cfg] sets the simulation parallelism knob everywhere it
+    matters: the flow's main session, target bookkeeping and the omission
+    probes. *)
+val with_sim_jobs : int -> t -> t

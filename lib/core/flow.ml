@@ -32,7 +32,9 @@ let generate (cfg : Config.t) sk model =
     else Array.init universe Fun.id, [||], [||]
   in
   let rng = Prng.Rng.of_string cfg.Config.seed (Circuit.name model.Model.circuit) in
-  let session = Faultsim.create model ~fault_ids:target_ids in
+  let session =
+    Faultsim.create ~jobs:cfg.Config.sim_jobs model ~fault_ids:target_ids
+  in
   let parts = ref [] in
   let append vecs =
     if Array.length vecs > 0 then begin

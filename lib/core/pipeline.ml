@@ -57,7 +57,10 @@ let lengths scan seq = { total = Array.length seq; scan = scan_count scan seq }
    schedule consumes on the small and medium benchmarks. *)
 let compact cfg model seq targets =
   let restored = Compaction.Restoration.run model seq targets in
-  let targets_r = Compaction.Target.compute model restored ~fault_ids:targets.Compaction.Target.fault_ids in
+  let targets_r =
+    Compaction.Target.compute ~jobs:cfg.Config.sim_jobs model restored
+      ~fault_ids:targets.Compaction.Target.fault_ids
+  in
   let omission =
     match cfg.Config.omission.Compaction.Omission.max_trials with
     | Some _ -> cfg.Config.omission
@@ -89,7 +92,8 @@ let run ?(scale = Circuits.Profiles.Quick) ?config name =
     if Array.length flow.Flow.undetected = 0 then 0
     else begin
       let times =
-        Faultsim.detection_times model ~fault_ids:flow.Flow.undetected omitted
+        Faultsim.detection_times ~jobs:cfg.Config.sim_jobs model
+          ~fault_ids:flow.Flow.undetected omitted
       in
       Array.fold_left (fun acc t -> if t >= 0 then acc + 1 else acc) 0 times
     end
@@ -130,7 +134,7 @@ let run ?(scale = Circuits.Profiles.Quick) ?config name =
       let rng = Prng.Rng.of_string cfg.Config.seed (name ^ "/translate") in
       let t7 = Translation.Translate.run scan ~tests:base_tests ~rng in
       let targets7 =
-        Compaction.Target.compute model t7
+        Compaction.Target.compute ~jobs:cfg.Config.sim_jobs model t7
           ~fault_ids:base.Baseline.Gen26.detected
       in
       let restored7, omitted7 = compact cfg model t7 targets7 in

@@ -3,9 +3,30 @@ module Gate = Netlist.Gate
 module Logic = Netlist.Logic
 module Levelize = Netlist.Levelize
 module Model = Faultmodel.Model
+module View = Vectors.View
 
 let width = 62
 let full = (1 lsl width) - 1
+
+(* Branch-free SWAR popcount for non-negative values below 2^62 (our group
+   words).  The 64-bit constants do not fit OCaml's 63-bit literals, so each
+   mask is assembled from two 32-bit halves; bit 62 of [m1] lands on the
+   sign bit, which is harmless under [land]. *)
+let popcount x =
+  let m1 = (0x55555555 lsl 32) lor 0x55555555 in
+  let m2 = (0x33333333 lsl 32) lor 0x33333333 in
+  let m4 = (0x0F0F0F0F lsl 32) lor 0x0F0F0F0F in
+  let x = x - ((x lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  let x = x + (x lsr 8) in
+  let x = x + (x lsr 16) in
+  let x = x + (x lsr 32) in
+  x land 0x7f
+
+type engine =
+  | Dense
+  | Event
 
 type group = {
   ids : int array;  (* slot -> fault id *)
@@ -15,38 +36,144 @@ type group = {
   inj_nodes : int array;  (* nodes carrying an injection in this group *)
   inj1 : int array;  (* stuck-at-1 machine masks, parallel to inj_nodes *)
   inj0 : int array;
+  (* Event engine: [fzero]/[fone] are only meaningful at the [ndirty]
+     indices listed in [dirty] (membership mirrored in [dmark]); every
+     other flip-flop implicitly holds the good machine's state.  The dense
+     engine keeps all slots marked and ignores the list, so the accessors
+     below work unchanged for both. *)
+  dirty : int array;
+  mutable ndirty : int;
+  dmark : Bytes.t;
+  inj_dff : int array;  (* dff indices whose node carries an injection *)
+}
+
+(* Per-worker evaluation state.  [wz]/[wo] hold a node's absolute words only
+   while [stamp] equals the current [epoch]; any other node implicitly holds
+   the frame's good-value broadcast ([gw0]/[gw1]).  One epoch per
+   (group, frame), so nothing is ever cleared. *)
+type scratch = {
+  wz : int array;
+  wo : int array;
+  mz : int array;  (* per-node injection masks while a group runs *)
+  mo : int array;
+  gw0 : int array;  (* good-value broadcast words of the current frame *)
+  gw1 : int array;
+  qstamp : int array;  (* epoch at which a node was last enqueued *)
+  mutable epoch : int;
+  queue : int array array;  (* per level: pending gate ids *)
+  qlen : int array;
+  touched : int array;  (* nodes stamped this epoch, for the latch walk *)
+  mutable ntouched : int;
 }
 
 type t = {
   model : Model.t;
+  engine : engine;
+  jobs : int;
   order : int array;
+  level : int array;
+  depth : int;
   inputs : int array;
   outputs : int array;
   dffs : int array;
   dff_fanin : int array;
+  dff_feed_off : int array;  (* node -> CSR range into [dff_feed] *)
+  dff_feed : int array;  (* dff indices latched from that node *)
+  dff_index : int array;  (* node -> dff slot, -1 for non-flip-flops *)
   kinds : Gate.kind array;
   fanins : int array array;
+  comb_fanouts : int array array;  (* fanouts minus flip-flops (latch step) *)
   good : Goodsim.t;
-  groups : group array;
+  fault_ids : int array;  (* the targeted faults, in the caller's order *)
+  mutable groups : group array;  (* repacking may rewrite the array *)
   group_of : int array;  (* fault id -> group index, -1 when untargeted *)
   slot_of : int array;  (* fault id -> slot in its group *)
   det_time : int array;  (* fault id -> frame, -1 undetected *)
   mutable detected : int;
   mutable time : int;
-  (* scratch, node-indexed *)
-  wzero : int array;
-  wone : int array;
-  mzero : int array;  (* per-node injection masks while a group runs *)
-  mone : int array;
+  scratch : scratch;  (* the calling domain's worker state *)
 }
 
-let create ?good_state ?faulty_states model ~fault_ids =
+let make_scratch model =
   let c = model.Model.circuit in
   let n = Circuit.node_count c in
+  let lv = model.Model.levelize in
+  {
+    wz = Array.make n 0;
+    wo = Array.make n 0;
+    mz = Array.make n 0;
+    mo = Array.make n 0;
+    gw0 = Array.make n 0;
+    gw1 = Array.make n 0;
+    qstamp = Array.make n 0;
+    epoch = 0;
+    queue = Array.map (fun cnt -> Array.make cnt 0) lv.Levelize.level_counts;
+    qlen = Array.make (lv.Levelize.depth + 1) 0;
+    touched = Array.make n 0;
+    ntouched = 0;
+  }
+
+(* Injection tables of one word of faults: per distinct site, the
+   stuck-at-1/0 machine masks, plus the dff slots among the sites. *)
+let build_injections model dff_index ids =
+  let inj = Hashtbl.create 16 in
+  Array.iteri
+    (fun slot fid ->
+      let node = model.Model.fault_node.(fid) in
+      let m1, m0 =
+        match Hashtbl.find_opt inj node with
+        | Some p -> p
+        | None -> 0, 0
+      in
+      let bit = 1 lsl slot in
+      let p =
+        if model.Model.fault_stuck.(fid) then m1 lor bit, m0
+        else m1, m0 lor bit
+      in
+      Hashtbl.replace inj node p)
+    ids;
+  let inj_nodes = Array.of_seq (Hashtbl.to_seq_keys inj) in
+  Array.sort compare inj_nodes;
+  let inj1 = Array.map (fun nd -> fst (Hashtbl.find inj nd)) inj_nodes in
+  let inj0 = Array.map (fun nd -> snd (Hashtbl.find inj nd)) inj_nodes in
+  let inj_dff =
+    Array.of_list
+      (List.filter_map
+         (fun nd -> if dff_index.(nd) >= 0 then Some dff_index.(nd) else None)
+         (Array.to_list inj_nodes))
+  in
+  inj_nodes, inj1, inj0, inj_dff
+
+let create ?good_state ?faulty_states ?(engine = Event) ?(jobs = 1) model
+    ~fault_ids =
+  let c = model.Model.circuit in
   let dffs = Circuit.dffs c in
   let nff = Array.length dffs in
+  let n = Circuit.node_count c in
+  let dff_index = Array.make n (-1) in
+  Array.iteri (fun k id -> dff_index.(id) <- k) dffs;
+  (* CSR map: node -> dff slots it drives (several flip-flops may share a
+     fanin).  The event engine's latch walks only the frame's touched nodes
+     through this map instead of scanning every flip-flop. *)
+  let dff_fanin =
+    Array.map (fun ff -> (Circuit.node c ff).Circuit.fanins.(0)) dffs
+  in
+  let dff_feed_off = Array.make (n + 1) 0 in
+  Array.iter
+    (fun d -> dff_feed_off.(d + 1) <- dff_feed_off.(d + 1) + 1)
+    dff_fanin;
+  for i = 0 to n - 1 do
+    dff_feed_off.(i + 1) <- dff_feed_off.(i + 1) + dff_feed_off.(i)
+  done;
+  let dff_feed = Array.make nff 0 in
+  let fill = Array.copy dff_feed_off in
+  Array.iteri
+    (fun k d ->
+      dff_feed.(fill.(d)) <- k;
+      fill.(d) <- fill.(d) + 1)
+    dff_fanin;
   let fault_total = Model.fault_count model in
-  let good = Goodsim.create c in
+  let good = Goodsim.create ~levelize:model.Model.levelize c in
   let good_state =
     match good_state with
     | Some s -> s
@@ -86,64 +213,69 @@ let create ?good_state ?faulty_states model ~fault_ids =
                 | Logic.X -> ())
               st)
           ids;
-        let inj = Hashtbl.create 16 in
-        Array.iteri
-          (fun slot fid ->
-            let node = model.Model.fault_node.(fid) in
-            let m1, m0 =
-              match Hashtbl.find_opt inj node with
-              | Some p -> p
-              | None -> 0, 0
-            in
-            let bit = 1 lsl slot in
-            let p =
-              if model.Model.fault_stuck.(fid) then m1 lor bit, m0
-              else m1, m0 lor bit
-            in
-            Hashtbl.replace inj node p)
-          ids;
-        let inj_nodes = Array.of_seq (Hashtbl.to_seq_keys inj) in
-        Array.sort compare inj_nodes;
-        let inj1 = Array.map (fun nd -> fst (Hashtbl.find inj nd)) inj_nodes in
-        let inj0 = Array.map (fun nd -> snd (Hashtbl.find inj nd)) inj_nodes in
+        let inj_nodes, inj1, inj0, inj_dff =
+          build_injections model dff_index ids
+        in
         { ids; active = (if len = width then full else (1 lsl len) - 1);
-          fzero; fone; inj_nodes; inj1; inj0 })
+          fzero; fone; inj_nodes; inj1; inj0;
+          dirty = Array.init nff (fun k -> k);
+          ndirty = nff;
+          dmark = Bytes.make nff '\001';
+          inj_dff })
   in
   {
     model;
+    engine;
+    jobs = max 1 jobs;
     order = model.Model.levelize.Levelize.order;
+    level = model.Model.levelize.Levelize.level;
+    depth = model.Model.levelize.Levelize.depth;
     inputs = Circuit.inputs c;
     outputs = Circuit.outputs c;
     dffs;
-    dff_fanin = Array.map (fun ff -> (Circuit.node c ff).Circuit.fanins.(0)) dffs;
+    dff_fanin;
+    dff_feed_off;
+    dff_feed;
+    dff_index;
     kinds = Array.map (fun nd -> nd.Circuit.kind) (Circuit.nodes c);
     fanins = Array.map (fun nd -> nd.Circuit.fanins) (Circuit.nodes c);
+    comb_fanouts =
+      Array.init n (fun nd ->
+          Array.of_list
+            (List.filter
+               (fun m -> (Circuit.node c m).Circuit.kind <> Gate.Dff)
+               (Array.to_list (Circuit.fanout c nd))));
     good;
+    fault_ids = Array.copy fault_ids;
     groups;
     group_of;
     slot_of;
     det_time = Array.make fault_total (-1);
     detected = 0;
     time = 0;
-    wzero = Array.make n 0;
-    wone = Array.make n 0;
-    mzero = Array.make n 0;
-    mone = Array.make n 0;
+    scratch = make_scratch model;
   }
 
 let time t = t.time
 
+(* ------------------------------------------------------- dense reference *)
+
+(* The original PROOFS-style kernel: every gate of every frame is evaluated
+   for every group, in levelized order.  Kept as the oracle the event-driven
+   engine is cross-validated against (see test/test_logicsim.ml), and for
+   benchmark comparisons. *)
+
 (* Force the injected machines' bits at node [nd]. *)
-let[@inline] apply_inj t nd =
-  let m1 = t.mone.(nd) and m0 = t.mzero.(nd) in
+let[@inline] apply_inj sc nd =
+  let m1 = sc.mo.(nd) and m0 = sc.mz.(nd) in
   if m1 lor m0 <> 0 then begin
-    t.wzero.(nd) <- t.wzero.(nd) land lnot m1 lor m0;
-    t.wone.(nd) <- t.wone.(nd) land lnot m0 lor m1
+    sc.wz.(nd) <- sc.wz.(nd) land lnot m1 lor m0;
+    sc.wo.(nd) <- sc.wo.(nd) land lnot m0 lor m1
   end
 
-let eval_gate t nd =
+let eval_gate t sc nd =
   let f = t.fanins.(nd) in
-  let wz = t.wzero and wo = t.wone in
+  let wz = sc.wz and wo = sc.wo in
   match t.kinds.(nd) with
   | Gate.Buf ->
     wz.(nd) <- wz.(f.(0));
@@ -206,41 +338,42 @@ let eval_gate t nd =
 
 (* Simulate one frame for one group; [good_po] holds the frame's fault-free
    output values.  Returns nothing; detections update session state. *)
-let sim_frame t g vec good_po =
+let sim_frame_dense t g vec good_po =
+  let sc = t.scratch in
   (* Sources. *)
   Array.iteri
     (fun i id ->
       (match vec.(i) with
        | Logic.One ->
-         t.wone.(id) <- full;
-         t.wzero.(id) <- 0
+         sc.wo.(id) <- full;
+         sc.wz.(id) <- 0
        | Logic.Zero ->
-         t.wone.(id) <- 0;
-         t.wzero.(id) <- full
+         sc.wo.(id) <- 0;
+         sc.wz.(id) <- full
        | Logic.X ->
-         t.wone.(id) <- 0;
-         t.wzero.(id) <- 0);
-      apply_inj t id)
+         sc.wo.(id) <- 0;
+         sc.wz.(id) <- 0);
+      apply_inj sc id)
     t.inputs;
   Array.iteri
     (fun k id ->
-      t.wzero.(id) <- g.fzero.(k);
-      t.wone.(id) <- g.fone.(k);
-      apply_inj t id)
+      sc.wz.(id) <- g.fzero.(k);
+      sc.wo.(id) <- g.fone.(k);
+      apply_inj sc id)
     t.dffs;
   (* Combinational evaluation. *)
   Array.iter
     (fun nd ->
-      eval_gate t nd;
-      apply_inj t nd)
+      eval_gate t sc nd;
+      apply_inj sc nd)
     t.order;
   (* Detection. *)
   let det = ref 0 in
   Array.iteri
     (fun p id ->
       match good_po.(p) with
-      | Logic.One -> det := !det lor t.wzero.(id)
-      | Logic.Zero -> det := !det lor t.wone.(id)
+      | Logic.One -> det := !det lor sc.wz.(id)
+      | Logic.Zero -> det := !det lor sc.wo.(id)
       | Logic.X -> ())
     t.outputs;
   let det = !det land g.active in
@@ -257,48 +390,485 @@ let sim_frame t g vec good_po =
   (* Latch. *)
   Array.iteri
     (fun k d ->
-      g.fzero.(k) <- t.wzero.(d);
-      g.fone.(k) <- t.wone.(d))
+      g.fzero.(k) <- sc.wz.(d);
+      g.fone.(k) <- sc.wo.(d))
     t.dff_fanin
 
-let advance t seq =
-  let nframes = Array.length seq in
-  if nframes > 0 then begin
-    let good_pos =
-      Array.map
-        (fun vec ->
-          Goodsim.step t.good vec;
-          Goodsim.po_values t.good)
-        seq
-    in
-    let t0 = t.time in
-    Array.iter
-      (fun g ->
-        if g.active <> 0 then begin
-          Array.iteri
-            (fun i nd ->
-              t.mone.(nd) <- g.inj1.(i);
-              t.mzero.(nd) <- g.inj0.(i))
-            g.inj_nodes;
-          t.time <- t0;
-          let fi = ref 0 in
-          while g.active <> 0 && !fi < nframes do
-            sim_frame t g seq.(!fi) good_pos.(!fi);
-            t.time <- t.time + 1;
-            incr fi
-          done;
-          Array.iter
-            (fun nd ->
-              t.mone.(nd) <- 0;
-              t.mzero.(nd) <- 0)
-            g.inj_nodes
-        end)
-      t.groups;
-    t.time <- t0 + nframes
+let advance_dense t view =
+  let nframes = View.length view in
+  let sc = t.scratch in
+  let good_pos =
+    Array.init nframes (fun i ->
+        Goodsim.step t.good (View.get view i);
+        Goodsim.po_values t.good)
+  in
+  let t0 = t.time in
+  Array.iter
+    (fun g ->
+      if g.active <> 0 then begin
+        Array.iteri
+          (fun i nd ->
+            sc.mo.(nd) <- g.inj1.(i);
+            sc.mz.(nd) <- g.inj0.(i))
+          g.inj_nodes;
+        t.time <- t0;
+        let fi = ref 0 in
+        while g.active <> 0 && !fi < nframes do
+          sim_frame_dense t g (View.get view !fi) good_pos.(!fi);
+          t.time <- t.time + 1;
+          incr fi
+        done;
+        Array.iter
+          (fun nd ->
+            sc.mo.(nd) <- 0;
+            sc.mz.(nd) <- 0)
+          g.inj_nodes
+      end)
+    t.groups;
+  t.time <- t0 + nframes
+
+(* -------------------------------------------------- event-driven engine *)
+
+(* HOPE-style selective trace over difference words.  The good machine is
+   simulated once per worker; a group's frame starts from the fact that
+   every node equals the good broadcast unless a fault effect reaches it.
+   During an event frame [wz]/[wo] hold each rail XORed with the broadcast,
+   so an untouched node reads as all-zero without any per-node tag: seeds
+   and evaluated gates store only genuine divergences, the frame's touched
+   nodes are reset afterwards (O(activity), never O(nodes)), and a node
+   whose recomputed words collapse back to the broadcast stops the
+   trace. *)
+
+let schedule_fanouts t sc nd =
+  let fos = t.comb_fanouts.(nd) in
+  for i = 0 to Array.length fos - 1 do
+    let m = fos.(i) in
+    if sc.qstamp.(m) <> sc.epoch then begin
+      sc.qstamp.(m) <- sc.epoch;
+      let lvl = t.level.(m) in
+      sc.queue.(lvl).(sc.qlen.(lvl)) <- m;
+      sc.qlen.(lvl) <- sc.qlen.(lvl) + 1
+    end
+  done
+
+(* Evaluate a scheduled gate from difference-word fanins; record and
+   propagate only a genuine divergence from the good broadcast. *)
+let eval_event t sc nd =
+  let f = t.fanins.(nd) in
+  let wz = sc.wz and wo = sc.wo and gw0 = sc.gw0 and gw1 = sc.gw1 in
+  let z = ref 0 and o = ref 0 in
+  (match t.kinds.(nd) with
+   | Gate.Buf ->
+     z := wz.(f.(0)) lxor gw0.(f.(0));
+     o := wo.(f.(0)) lxor gw1.(f.(0))
+   | Gate.Not ->
+     z := wo.(f.(0)) lxor gw1.(f.(0));
+     o := wz.(f.(0)) lxor gw0.(f.(0))
+   | Gate.And | Gate.Nand ->
+     z := wz.(f.(0)) lxor gw0.(f.(0));
+     o := wo.(f.(0)) lxor gw1.(f.(0));
+     for i = 1 to Array.length f - 1 do
+       z := !z lor (wz.(f.(i)) lxor gw0.(f.(i)));
+       o := !o land (wo.(f.(i)) lxor gw1.(f.(i)))
+     done;
+     if t.kinds.(nd) = Gate.Nand then begin
+       let tmp = !z in
+       z := !o;
+       o := tmp
+     end
+   | Gate.Or | Gate.Nor ->
+     z := wz.(f.(0)) lxor gw0.(f.(0));
+     o := wo.(f.(0)) lxor gw1.(f.(0));
+     for i = 1 to Array.length f - 1 do
+       z := !z land (wz.(f.(i)) lxor gw0.(f.(i)));
+       o := !o lor (wo.(f.(i)) lxor gw1.(f.(i)))
+     done;
+     if t.kinds.(nd) = Gate.Nor then begin
+       let tmp = !z in
+       z := !o;
+       o := tmp
+     end
+   | Gate.Xor | Gate.Xnor ->
+     z := wz.(f.(0)) lxor gw0.(f.(0));
+     o := wo.(f.(0)) lxor gw1.(f.(0));
+     for i = 1 to Array.length f - 1 do
+       let z2 = wz.(f.(i)) lxor gw0.(f.(i))
+       and o2 = wo.(f.(i)) lxor gw1.(f.(i)) in
+       let no = !o land z2 lor (!z land o2) in
+       let nz = !z land z2 lor (!o land o2) in
+       z := nz;
+       o := no
+     done;
+     if t.kinds.(nd) = Gate.Xnor then begin
+       let tmp = !z in
+       z := !o;
+       o := tmp
+     end
+   | Gate.Mux ->
+     let zs = wz.(f.(0)) lxor gw0.(f.(0)) and os = wo.(f.(0)) lxor gw1.(f.(0)) in
+     let za = wz.(f.(1)) lxor gw0.(f.(1)) and oa = wo.(f.(1)) lxor gw1.(f.(1)) in
+     let zb = wz.(f.(2)) lxor gw0.(f.(2)) and ob = wo.(f.(2)) lxor gw1.(f.(2)) in
+     o := zs land oa lor (os land ob) lor (oa land ob);
+     z := zs land za lor (os land zb) lor (za land zb)
+   | Gate.Input | Gate.Dff -> assert false);
+  let m1 = sc.mo.(nd) and m0 = sc.mz.(nd) in
+  if m1 lor m0 <> 0 then begin
+    z := !z land lnot m1 lor m0;
+    o := !o land lnot m0 lor m1
+  end;
+  let zd = !z lxor gw0.(nd) and od = !o lxor gw1.(nd) in
+  if zd lor od <> 0 then begin
+    sc.touched.(sc.ntouched) <- nd;
+    sc.ntouched <- sc.ntouched + 1;
+    wz.(nd) <- zd;
+    wo.(nd) <- od;
+    schedule_fanouts t sc nd
   end
 
+(* One frame of one group.  [sc.gw0]/[sc.gw1] must hold the frame's good
+   broadcast.  Detections write [t.det_time] (slots are disjoint across
+   groups, so concurrent workers never collide) and count into
+   [detections]. *)
+let sim_frame_event t sc g time detections =
+  sc.epoch <- sc.epoch + 1;
+  sc.ntouched <- 0;
+  let epoch = sc.epoch in
+  (* Detected machines are dead weight: masking their bits out of every
+     seed (their state snaps to the good value, their injections stop
+     firing) makes a group's event cone shrink as its faults retire —
+     the dense kernel only stops working once all 62 are gone. *)
+  let act = g.active in
+  let ninj = Array.length g.inj_nodes in
+  for i = 0 to ninj - 1 do
+    sc.mo.(g.inj_nodes.(i)) <- g.inj1.(i) land act;
+    sc.mz.(g.inj_nodes.(i)) <- g.inj0.(i) land act
+  done;
+  (* Seed a flip-flop whose (injected) faulty words differ from the good
+     state.  [dz]/[dv] are the stored state words, already restricted to
+     active machines. *)
+  let seed_dff k dz dv =
+    let id = t.dffs.(k) in
+    let z = ref dz and o = ref dv in
+    let m1 = sc.mo.(id) and m0 = sc.mz.(id) in
+    if m1 lor m0 <> 0 then begin
+      z := !z land lnot m1 lor m0;
+      o := !o land lnot m0 lor m1
+    end;
+    let zd = !z lxor sc.gw0.(id) and od = !o lxor sc.gw1.(id) in
+    if zd lor od <> 0 then begin
+      sc.touched.(sc.ntouched) <- id;
+      sc.ntouched <- sc.ntouched + 1;
+      sc.wz.(id) <- zd;
+      sc.wo.(id) <- od;
+      schedule_fanouts t sc id
+    end
+  in
+  (* Only flip-flops on the dirty list can differ from the good machine;
+     injection sites on clean flip-flops start from the implicit good
+     words. *)
+  for i = 0 to g.ndirty - 1 do
+    let k = g.dirty.(i) in
+    let id = t.dffs.(k) in
+    seed_dff k
+      (g.fzero.(k) land act lor (sc.gw0.(id) land lnot act))
+      (g.fone.(k) land act lor (sc.gw1.(id) land lnot act))
+  done;
+  for i = 0 to Array.length g.inj_dff - 1 do
+    let k = g.inj_dff.(i) in
+    if Bytes.unsafe_get g.dmark k = '\000' then
+      seed_dff k sc.gw0.(t.dffs.(k)) sc.gw1.(t.dffs.(k))
+  done;
+  (* Seed: injection sites (gates self-schedule; forced sources diverge
+     directly). *)
+  for i = 0 to ninj - 1 do
+    let nd = g.inj_nodes.(i) in
+    match t.kinds.(nd) with
+    | Gate.Dff -> ()  (* handled with the state seeds above *)
+    | Gate.Input ->
+      let m1 = sc.mo.(nd) and m0 = sc.mz.(nd) in
+      let z = sc.gw0.(nd) land lnot m1 lor m0 in
+      let o = sc.gw1.(nd) land lnot m0 lor m1 in
+      let zd = z lxor sc.gw0.(nd) and od = o lxor sc.gw1.(nd) in
+      if zd lor od <> 0 then begin
+        sc.touched.(sc.ntouched) <- nd;
+        sc.ntouched <- sc.ntouched + 1;
+        sc.wz.(nd) <- zd;
+        sc.wo.(nd) <- od;
+        schedule_fanouts t sc nd
+      end
+    | _ ->
+      if sc.qstamp.(nd) <> epoch then begin
+        sc.qstamp.(nd) <- epoch;
+        let lvl = t.level.(nd) in
+        sc.queue.(lvl).(sc.qlen.(lvl)) <- nd;
+        sc.qlen.(lvl) <- sc.qlen.(lvl) + 1
+      end
+  done;
+  (* Propagate, level-ordered; a gate only ever schedules strictly deeper
+     gates. *)
+  for lvl = 1 to t.depth do
+    let q = sc.queue.(lvl) in
+    let len = sc.qlen.(lvl) in
+    for j = 0 to len - 1 do
+      eval_event t sc q.(j)
+    done;
+    sc.qlen.(lvl) <- 0
+  done;
+  (* Detection, branch-free: under [land] with the opposite good rail the
+     difference word equals the absolute word, and untouched outputs are
+     all-zero, so every output folds in without a test. *)
+  let det = ref 0 in
+  for p = 0 to Array.length t.outputs - 1 do
+    let id = t.outputs.(p) in
+    det :=
+      !det lor (sc.wz.(id) land sc.gw1.(id)) lor (sc.wo.(id) land sc.gw0.(id))
+  done;
+  let det = !det land g.active in
+  if det <> 0 then begin
+    Array.iteri
+      (fun slot fid ->
+        if det land (1 lsl slot) <> 0 then begin
+          t.det_time.(fid) <- time;
+          incr detections
+        end)
+      g.ids;
+    g.active <- g.active land lnot det
+  end;
+  (* Latch: a flip-flop captures a non-good word only when its fanin was
+     touched this frame, so rebuilding the dirty set from the touched nodes
+     covers every divergence; everything else implicitly latches the good
+     value. *)
+  for i = 0 to g.ndirty - 1 do
+    Bytes.unsafe_set g.dmark g.dirty.(i) '\000'
+  done;
+  g.ndirty <- 0;
+  for i = 0 to sc.ntouched - 1 do
+    let nd = sc.touched.(i) in
+    for j = t.dff_feed_off.(nd) to t.dff_feed_off.(nd + 1) - 1 do
+      let k = t.dff_feed.(j) in
+      g.fzero.(k) <- sc.wz.(nd) lxor sc.gw0.(nd);
+      g.fone.(k) <- sc.wo.(nd) lxor sc.gw1.(nd);
+      Bytes.unsafe_set g.dmark k '\001';
+      g.dirty.(g.ndirty) <- k;
+      g.ndirty <- g.ndirty + 1
+    done
+  done;
+  (* Reset this frame's difference words so the next (group, frame) starts
+     from an all-clean array. *)
+  for i = 0 to sc.ntouched - 1 do
+    let nd = sc.touched.(i) in
+    sc.wz.(nd) <- 0;
+    sc.wo.(nd) <- 0
+  done;
+  for i = 0 to ninj - 1 do
+    sc.mo.(g.inj_nodes.(i)) <- 0;
+    sc.mz.(g.inj_nodes.(i)) <- 0
+  done
+
+(* Repack a worker's surviving machines into as few words as possible.
+   Machines are independent, so word packing is invisible to every
+   per-fault outcome; it only shrinks the number of group-frames the
+   simulator executes once fault dropping has hollowed the words out.
+   [sc] must still hold the broadcast of the frame just simulated: a
+   flip-flop that is dirty for one source group but clean for another
+   reads the clean faults' values off the good next-state, i.e. the
+   broadcast at the flip-flop's fanin. *)
+let repack t sc groups =
+  let nff = Array.length t.dffs in
+  let acc = ref [] in
+  Array.iter
+    (fun g ->
+      if g.active <> 0 then
+        Array.iteri
+          (fun slot fid ->
+            if g.active land (1 lsl slot) <> 0 then
+              acc := (fid, g, slot) :: !acc)
+          g.ids)
+    groups;
+  let live = Array.of_list (List.rev !acc) in
+  let ngroups = (Array.length live + width - 1) / width in
+  Array.init ngroups (fun gi ->
+      let lo = gi * width in
+      let len = min width (Array.length live - lo) in
+      let ids = Array.init len (fun i -> let fid, _, _ = live.(lo + i) in fid) in
+      let fzero = Array.make nff 0 and fone = Array.make nff 0 in
+      let dirty = Array.make nff 0 in
+      let dmark = Bytes.make nff '\000' in
+      let ndirty = ref 0 in
+      for i = 0 to len - 1 do
+        let _, og, _ = live.(lo + i) in
+        for j = 0 to og.ndirty - 1 do
+          let k = og.dirty.(j) in
+          if Bytes.get dmark k = '\000' then begin
+            Bytes.set dmark k '\001';
+            dirty.(!ndirty) <- k;
+            incr ndirty
+          end
+        done
+      done;
+      let amask = if len = width then full else (1 lsl len) - 1 in
+      for j = 0 to !ndirty - 1 do
+        let k = dirty.(j) in
+        let d = t.dff_fanin.(k) in
+        let z = ref (if sc.gw0.(d) <> 0 then amask else 0) in
+        let o = ref (if sc.gw1.(d) <> 0 then amask else 0) in
+        for i = 0 to len - 1 do
+          let _, og, oslot = live.(lo + i) in
+          if Bytes.get og.dmark k <> '\000' then begin
+            let bit = 1 lsl i in
+            z := !z land lnot bit;
+            o := !o land lnot bit;
+            if og.fzero.(k) lsr oslot land 1 <> 0 then z := !z lor bit;
+            if og.fone.(k) lsr oslot land 1 <> 0 then o := !o lor bit
+          end
+        done;
+        fzero.(k) <- !z;
+        fone.(k) <- !o
+      done;
+      let inj_nodes, inj1, inj0, inj_dff =
+        build_injections t.model t.dff_index ids
+      in
+      { ids; active = amask;
+        fzero; fone; inj_nodes; inj1; inj0;
+        dirty; ndirty = !ndirty; dmark; inj_dff })
+
+(* Run [groups] over the whole view with worker-owned state.  [gsim] is the
+   worker's good machine (the session's own for the calling domain, a
+   replayed copy for spawned ones).  [step_all] keeps stepping the good
+   machine after every group retired — required for the session machine,
+   whose final state is observable. *)
+let run_worker t sc gsim view t0 ~groups ~step_all =
+  let nframes = View.length view in
+  let n = Array.length sc.gw0 in
+  let detections = ref 0 in
+  let groups = ref groups in
+  let retired = ref [] in
+  let live = ref (Array.length !groups) in
+  let machines =
+    ref (Array.fold_left (fun a g -> a + popcount g.active) 0 !groups)
+  in
+  let fi = ref 0 in
+  while !fi < nframes && (!live > 0 || step_all) do
+    Goodsim.step gsim (View.get view !fi);
+    if !live > 0 then begin
+      for nd = 0 to n - 1 do
+        match Goodsim.value gsim nd with
+        | Logic.Zero ->
+          sc.gw0.(nd) <- full;
+          sc.gw1.(nd) <- 0
+        | Logic.One ->
+          sc.gw0.(nd) <- 0;
+          sc.gw1.(nd) <- full
+        | Logic.X ->
+          sc.gw0.(nd) <- 0;
+          sc.gw1.(nd) <- 0
+      done;
+      let before = !detections in
+      Array.iter
+        (fun g ->
+          if g.active <> 0 then begin
+            sim_frame_event t sc g (t0 + !fi) detections;
+            if g.active = 0 then decr live
+          end)
+        !groups;
+      machines := !machines - (!detections - before);
+      (* Fault dropping hollows the words out; once half the live groups
+         could be saved, repack the survivors into fresh full words. *)
+      let needed = (!machines + width - 1) / width in
+      if !live > 1 && 2 * needed <= !live && !fi < nframes - 1 then begin
+        Array.iter
+          (fun g -> if g.active = 0 then retired := g :: !retired)
+          !groups;
+        groups := repack t sc !groups;
+        live := Array.length !groups
+      end
+    end;
+    incr fi
+  done;
+  !detections, Array.append !groups (Array.of_list (List.rev !retired))
+
+let advance_event t view =
+  let nframes = View.length view in
+  let t0 = t.time in
+  let pre_retired =
+    Array.of_list (List.filter (fun g -> g.active = 0) (Array.to_list t.groups))
+  in
+  let active =
+    Array.of_list
+      (List.filter (fun g -> g.active <> 0) (Array.to_list t.groups))
+  in
+  let jobs = min t.jobs (Array.length active) in
+  if jobs <= 1 then begin
+    let d, gs =
+      run_worker t t.scratch t.good view t0 ~groups:active ~step_all:true
+    in
+    t.detected <- t.detected + d;
+    t.groups <- Array.append gs pre_retired
+  end
+  else begin
+    (* Groups are independent given the good trace: deal them round-robin
+       across domains.  Each spawned worker replays the good machine from
+       the pre-advance state with its own scratch; detection times and group
+       states land in disjoint slots, so the merged outcome is identical to
+       the sequential schedule regardless of interleaving. *)
+    let init_state = Goodsim.state t.good in
+    let share w =
+      let acc = ref [] in
+      Array.iteri (fun i g -> if i mod jobs = w then acc := g :: !acc) active;
+      Array.of_list (List.rev !acc)
+    in
+    let spawned =
+      Array.init (jobs - 1) (fun k ->
+          let groups = share (k + 1) in
+          Domain.spawn (fun () ->
+              let sc = make_scratch t.model in
+              let gsim =
+                Goodsim.create ~levelize:t.model.Model.levelize
+                  t.model.Model.circuit
+              in
+              Goodsim.set_state gsim init_state;
+              run_worker t sc gsim view t0 ~groups ~step_all:false))
+    in
+    let d0, gs0 =
+      run_worker t t.scratch t.good view t0 ~groups:(share 0) ~step_all:true
+    in
+    let results = Array.map Domain.join spawned in
+    let d = Array.fold_left (fun acc (dm, _) -> acc + dm) d0 results in
+    t.detected <- t.detected + d;
+    t.groups <-
+      Array.concat (gs0 :: Array.to_list (Array.map snd results) @ [ pre_retired ])
+  end;
+  (* Repacking may have rearranged faults across words, and faults that
+     were detected out of a still-live group are no longer packed at all:
+     refresh the fault -> (group, slot) maps, leaving the dropped (all
+     detected) faults on the -2 sentinel. *)
+  Array.iter
+    (fun fid ->
+      t.group_of.(fid) <- -2;
+      t.slot_of.(fid) <- -1)
+    t.fault_ids;
+  Array.iteri
+    (fun gi g ->
+      Array.iteri
+        (fun slot fid ->
+          t.group_of.(fid) <- gi;
+          t.slot_of.(fid) <- slot)
+        g.ids)
+    t.groups;
+  t.time <- t0 + nframes
+
+let advance_view t view =
+  if View.length view > 0 then
+    match t.engine with
+    | Dense -> advance_dense t view
+    | Event -> advance_event t view
+
+let advance t seq = advance_view t (View.of_seq seq)
+
+(* -------------------------------------------------------------- queries *)
+
 let check_target t fid =
-  if fid < 0 || fid >= Array.length t.group_of || t.group_of.(fid) < 0 then
+  if fid < 0 || fid >= Array.length t.group_of || t.group_of.(fid) = -1 then
     invalid_arg "Faultsim: fault not targeted by this session"
 
 let detection_time t fid =
@@ -310,34 +880,49 @@ let detected_count t = t.detected
 let undetected t =
   let acc = ref [] in
   Array.iter
-    (fun g ->
-      Array.iteri
-        (fun slot fid -> if g.active land (1 lsl slot) <> 0 then acc := fid :: !acc)
-        g.ids)
-    t.groups;
+    (fun fid ->
+      if t.det_time.(fid) < 0 then begin
+        let g = t.groups.(t.group_of.(fid)) in
+        if g.active land (1 lsl t.slot_of.(fid)) <> 0 then acc := fid :: !acc
+      end)
+    t.fault_ids;
   Array.of_list (List.rev !acc)
 
 let good_state t = Goodsim.state t.good
 
+(* A flip-flop off the dirty list implicitly holds the good machine's state
+   (dense sessions keep every slot marked, so the guards below are no-ops
+   there). *)
+
 let faulty_state t fid =
   check_target t fid;
-  let g = t.groups.(t.group_of.(fid)) in
-  let bit = 1 lsl t.slot_of.(fid) in
-  Array.mapi
-    (fun k _ ->
-      if g.fone.(k) land bit <> 0 then Logic.One
-      else if g.fzero.(k) land bit <> 0 then Logic.Zero
-      else Logic.X)
-    t.dffs
+  let good = Goodsim.state t.good in
+  if t.det_time.(fid) >= 0 then good
+    (* detected machines stop being updated; their state is the good one *)
+  else begin
+    let g = t.groups.(t.group_of.(fid)) in
+    let bit = 1 lsl t.slot_of.(fid) in
+    Array.mapi
+      (fun k _ ->
+        if Bytes.get g.dmark k = '\000' then good.(k)
+        else if g.fone.(k) land bit <> 0 then Logic.One
+        else if g.fzero.(k) land bit <> 0 then Logic.Zero
+        else Logic.X)
+      t.dffs
+  end
 
 let ff_effects t fid =
   check_target t fid;
+  if t.det_time.(fid) >= 0 then []
+  else begin
   let g = t.groups.(t.group_of.(fid)) in
   let bit = 1 lsl t.slot_of.(fid) in
   let good = Goodsim.state t.good in
   let acc = ref [] in
   for k = Array.length t.dffs - 1 downto 0 do
     let effect =
+      Bytes.get g.dmark k <> '\000'
+      &&
       match good.(k) with
       | Logic.One -> g.fzero.(k) land bit <> 0
       | Logic.Zero -> g.fone.(k) land bit <> 0
@@ -346,10 +931,7 @@ let ff_effects t fid =
     if effect then acc := k :: !acc
   done;
   !acc
-
-let popcount x =
-  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
-  go x 0
+  end
 
 let effect_bits t =
   let good = Goodsim.state t.good in
@@ -359,25 +941,37 @@ let effect_bits t =
       if g.active <> 0 then
         Array.iteri
           (fun k gv ->
-            match gv with
-            | Logic.One -> total := !total + popcount (g.fzero.(k) land g.active)
-            | Logic.Zero -> total := !total + popcount (g.fone.(k) land g.active)
-            | Logic.X -> ())
+            if Bytes.get g.dmark k <> '\000' then
+              match gv with
+              | Logic.One ->
+                total := !total + popcount (g.fzero.(k) land g.active)
+              | Logic.Zero ->
+                total := !total + popcount (g.fone.(k) land g.active)
+              | Logic.X -> ())
           good)
     t.groups;
   !total
 
-let detection_times model ~fault_ids seq =
-  let s = create model ~fault_ids in
-  advance s seq;
+(* --------------------------------------------------------- conveniences *)
+
+let detection_times_view ?engine ?jobs model ~fault_ids view =
+  let s = create ?engine ?jobs model ~fault_ids in
+  advance_view s view;
   Array.map (fun fid -> s.det_time.(fid)) fault_ids
 
-let detects_single model ~fault ?start seq =
+let detection_times ?engine ?jobs model ~fault_ids seq =
+  detection_times_view ?engine ?jobs model ~fault_ids (View.of_seq seq)
+
+let detects_single_view ?engine model ~fault ?start view =
   let s =
     match start with
-    | None -> create model ~fault_ids:[| fault |]
+    | None -> create ?engine model ~fault_ids:[| fault |]
     | Some (good_state, faulty) ->
-      create ~good_state ~faulty_states:(fun _ -> faulty) model ~fault_ids:[| fault |]
+      create ?engine ~good_state ~faulty_states:(fun _ -> faulty) model
+        ~fault_ids:[| fault |]
   in
-  advance s seq;
+  advance_view s view;
   detection_time s fault
+
+let detects_single ?engine model ~fault ?start seq =
+  detects_single_view ?engine model ~fault ?start (View.of_seq seq)

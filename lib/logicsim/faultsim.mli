@@ -1,4 +1,4 @@
-(** PROOFS-style parallel-fault sequential fault simulation.
+(** Parallel-fault sequential fault simulation.
 
     Faults are simulated in groups of up to 62 per native machine word: a
     signal's value across the group is a pair of bit-words [(zero, one)]
@@ -7,10 +7,27 @@
     forcing the faulty node's output bits for the owning machine — branch
     faults were turned into node-output faults by {!Faultmodel.Model}.
 
+    Two engines share that representation:
+
+    - {!Event} (the default) is an event-driven (HOPE-style) selective-trace
+      kernel: the fault-free machine is simulated once per frame, a group's
+      words are treated as {e differences} against the good broadcast, and
+      only fanout cones reached from state divergences and injection sites
+      are re-evaluated through a per-level event queue built on
+      {!Netlist.Levelize} data.  Since groups are independent given the good
+      trace, sessions created with [jobs > 1] deal groups round-robin across
+      [Domain.spawn] workers, each with its own scratch arrays and good
+      machine replay; results (detection times, states, counts) are
+      bit-identical to the sequential schedule.
+    - {!Dense} is the original PROOFS-style kernel evaluating every gate of
+      every frame for every group.  It is the cross-validation oracle and
+      benchmark baseline.
+
     A {!t} is a *session*: it holds the good machine, every group's faulty
     state, and per-fault first-detection times.  Sequences are fed
-    incrementally with {!advance}, which is what makes the generation flow's
-    repeated "append a subsequence, then drop newly-detected faults" cheap.
+    incrementally with {!advance} (or zero-copy views with
+    {!advance_view}), which is what makes the generation flow's repeated
+    "append a subsequence, then drop newly-detected faults" cheap.
 
     Detection is strict: a fault is detected at a frame when some primary
     output (including [scan_out]) has a binary good value and the opposite
@@ -18,16 +35,24 @@
 
 type t
 
+type engine =
+  | Dense  (** evaluate every gate for every group and frame (oracle) *)
+  | Event  (** event-driven difference propagation (default) *)
+
 (** [create model ~fault_ids] starts a session over the given target faults
     (indices into [model.faults]) at time 0.
 
     [good_state] (default all-[X]) initializes the flip-flop state,
     indexed like [Circuit.dffs]; [faulty_states] (default: same as the good
     state) gives a per-fault initial state, enabling sessions that continue
-    from the middle of another simulation. *)
+    from the middle of another simulation.  [engine] selects the kernel
+    (default {!Event}); [jobs] (default 1) bounds the number of domains the
+    event engine may schedule fault groups across. *)
 val create :
   ?good_state:Netlist.Logic.t array ->
   ?faulty_states:(int -> Netlist.Logic.t array) ->
+  ?engine:engine ->
+  ?jobs:int ->
   Faultmodel.Model.t ->
   fault_ids:int array ->
   t
@@ -37,6 +62,10 @@ val time : t -> int
 
 (** [advance t seq] simulates the next [Array.length seq] frames. *)
 val advance : t -> Vectors.t -> unit
+
+(** [advance_view t v] simulates the frames visible through [v] without
+    materializing them. *)
+val advance_view : t -> Vectors.View.t -> unit
 
 (** First detection time of a fault (a frame index), if any.
     @raise Invalid_argument if the fault is not targeted by this session. *)
@@ -64,20 +93,46 @@ val ff_effects : t -> int -> int list
     simulation-based test generation. *)
 val effect_bits : t -> int
 
+(** Branch-free SWAR population count, valid for non-negative values below
+    [2^62] (every group word).  Exposed for cross-validation. *)
+val popcount : int -> int
+
 (** {1 One-shot conveniences} *)
 
 (** [detection_times model ~fault_ids seq] simulates [seq] from power-up and
     returns first-detection times aligned with [fault_ids] ([-1] when
     undetected). *)
 val detection_times :
-  Faultmodel.Model.t -> fault_ids:int array -> Vectors.t -> int array
+  ?engine:engine ->
+  ?jobs:int ->
+  Faultmodel.Model.t ->
+  fault_ids:int array ->
+  Vectors.t ->
+  int array
+
+val detection_times_view :
+  ?engine:engine ->
+  ?jobs:int ->
+  Faultmodel.Model.t ->
+  fault_ids:int array ->
+  Vectors.View.t ->
+  int array
 
 (** [detects_single model ~fault ?start seq] simulates one fault, optionally
     from a [(good_state, faulty_state)] pair, and returns its detection time
     within [seq]. *)
 val detects_single :
+  ?engine:engine ->
   Faultmodel.Model.t ->
   fault:int ->
   ?start:Netlist.Logic.t array * Netlist.Logic.t array ->
   Vectors.t ->
+  int option
+
+val detects_single_view :
+  ?engine:engine ->
+  Faultmodel.Model.t ->
+  fault:int ->
+  ?start:Netlist.Logic.t array * Netlist.Logic.t array ->
+  Vectors.View.t ->
   int option

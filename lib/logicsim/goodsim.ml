@@ -14,8 +14,12 @@ type t = {
   state : Logic.t array;
 }
 
-let create c =
-  let lv = Levelize.of_circuit c in
+let create ?levelize c =
+  let lv =
+    match levelize with
+    | Some lv -> lv
+    | None -> Levelize.of_circuit c
+  in
   let dffs = Circuit.dffs c in
   {
     circuit = c;

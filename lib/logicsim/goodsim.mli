@@ -8,7 +8,11 @@
 
 type t
 
-val create : Netlist.Circuit.t -> t
+(** [create ?levelize c] builds a simulator.  Passing a precomputed
+    [levelize] (it must belong to [c]) skips the levelization — callers that
+    spin up many simulators per circuit (fault-simulation workers, probe
+    sessions) reuse the model's. *)
+val create : ?levelize:Netlist.Levelize.t -> Netlist.Circuit.t -> t
 
 (** Back to the all-[X] power-up state. *)
 val reset : t -> unit

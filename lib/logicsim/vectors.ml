@@ -29,3 +29,62 @@ let count seq ~position ~value =
 
 let pp fmt seq =
   Array.iteri (fun i v -> Format.fprintf fmt "%4d  %s@." i (to_string v)) seq
+
+module View = struct
+  type seq = t
+
+  type t =
+    | Whole of seq
+    | Slice of { base : seq; off : int; len : int }
+    | Mask of { base : seq; idx : int array }
+
+  let of_seq s = Whole s
+
+  let length = function
+    | Whole s -> Array.length s
+    | Slice { len; _ } -> len
+    | Mask { idx; _ } -> Array.length idx
+
+  let get v i =
+    match v with
+    | Whole s -> s.(i)
+    | Slice { base; off; len } ->
+      if i < 0 || i >= len then invalid_arg "Vectors.View.get";
+      base.(off + i)
+    | Mask { base; idx } -> base.(idx.(i))
+
+  let slice v off len =
+    if off < 0 || len < 0 || off + len > length v then
+      invalid_arg "Vectors.View.slice";
+    match v with
+    | Whole base -> Slice { base; off; len }
+    | Slice s -> Slice { base = s.base; off = s.off + off; len }
+    | Mask { base; idx } -> Mask { base; idx = Array.sub idx off len }
+
+  let masked ?limit base keep =
+    if Array.length keep <> Array.length base then
+      invalid_arg "Vectors.View.masked: mask length mismatch";
+    let hi =
+      match limit with
+      | Some l -> min l (Array.length base - 1)
+      | None -> Array.length base - 1
+    in
+    let count = ref 0 in
+    for i = 0 to hi do
+      if keep.(i) then incr count
+    done;
+    let idx = Array.make !count 0 in
+    let j = ref 0 in
+    for i = 0 to hi do
+      if keep.(i) then begin
+        idx.(!j) <- i;
+        incr j
+      end
+    done;
+    Mask { base; idx }
+
+  let to_seq v =
+    match v with
+    | Whole s -> s
+    | _ -> Array.init (length v) (get v)
+end

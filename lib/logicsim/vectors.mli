@@ -35,3 +35,35 @@ val copy : t -> t
 val count : t -> position:int -> value:Netlist.Logic.t -> int
 
 val pp : Format.formatter -> t -> unit
+
+(** Zero-copy windows over a sequence.
+
+    The compaction procedures probe thousands of suffixes and keep-mask
+    selections of one base sequence; materializing each probe as a fresh
+    vector array made those loops allocation-bound.  A view shares the base
+    sequence's vectors and only describes which positions are visible, so
+    building one is O(1) (slices) or one int-array scan (masks), and the
+    simulators consume views directly ({!Faultsim.advance_view}). *)
+module View : sig
+  type seq := t
+  type t
+
+  val of_seq : seq -> t
+
+  val length : t -> int
+
+  (** [get v i] is the [i]-th visible vector (shared, not copied). *)
+  val get : t -> int -> vector
+
+  (** [slice v off len] restricts [v] to [len] positions starting at [off]
+      (composable; slicing a slice stays O(1)).
+      @raise Invalid_argument when the range is out of bounds. *)
+  val slice : t -> int -> int -> t
+
+  (** [masked ?limit base keep] shows the positions [i <= limit] (default:
+      all) of [base] with [keep.(i) = true], in order. *)
+  val masked : ?limit:int -> seq -> bool array -> t
+
+  (** Materialize (O(1) for views covering a whole sequence). *)
+  val to_seq : t -> seq
+end

@@ -2,6 +2,7 @@ type t = {
   order : int array;
   level : int array;
   depth : int;
+  level_counts : int array;
 }
 
 let of_circuit c =
@@ -38,7 +39,11 @@ let of_circuit c =
      turn keeps simulation traces reproducible across runs. *)
   let order = Array.copy combinational in
   Array.stable_sort (fun a b -> compare level.(a) level.(b)) order;
-  { order; level; depth = !depth }
+  let level_counts = Array.make (!depth + 1) 0 in
+  Array.iter
+    (fun i -> level_counts.(level.(i)) <- level_counts.(level.(i)) + 1)
+    order;
+  { order; level; depth = !depth; level_counts }
 
 let output_level t c =
   let acc = ref 0 in

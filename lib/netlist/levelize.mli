@@ -9,6 +9,10 @@ type t = private {
   order : int array;  (** combinational gate ids in evaluation order *)
   level : int array;  (** per node id; 0 for sources *)
   depth : int;  (** maximum level *)
+  level_counts : int array;
+  (** per level [0..depth]: number of combinational gates at that level —
+      the capacity bound an event-driven simulator needs for its per-level
+      event buckets (sources sit at level 0 and are never enqueued) *)
 }
 
 val of_circuit : Circuit.t -> t

@@ -123,6 +123,57 @@ let prop_parallel_equals_serial =
           par.(fid) = ser)
         ids)
 
+let prop_event_equals_dense =
+  (* The event-driven engine against the dense PROOFS-style oracle:
+     identical detection times for every fault, and identical surviving
+     machine state (flip-flop words and strict effects) for every
+     undetected fault.  The sequence ends in a scan-shift suffix and the
+     event session advances in two chunks, covering continuation and
+     mid-run repacking. *)
+  QCheck2.Test.make ~name:"event engine = dense oracle (random circuits)"
+    ~count:10
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let c = gen_circuit seed in
+      let scan = Scanins.Scan.insert c in
+      let cs = scan.Scanins.Scan.circuit in
+      let m = Model.build cs in
+      let rng = Prng.Rng.create (Int64.of_int (seed + 6)) in
+      let seq = Vectors.random_seq rng ~width:(C.input_count cs) ~length:40 in
+      let sel = Scanins.Scan.sel_position scan in
+      Array.iteri (fun i v -> if i >= 30 then v.(sel) <- L.One) seq;
+      let ids = Array.init (Model.fault_count m) Fun.id in
+      let module FS = Logicsim.Faultsim in
+      let dense = FS.create ~engine:FS.Dense m ~fault_ids:ids in
+      let event = FS.create ~engine:FS.Event m ~fault_ids:ids in
+      FS.advance dense seq;
+      FS.advance event (Array.sub seq 0 17);
+      FS.advance event (Array.sub seq 17 23);
+      Array.for_all
+        (fun fid ->
+          FS.detection_time dense fid = FS.detection_time event fid
+          && (FS.detection_time dense fid <> None
+             || FS.faulty_state dense fid = FS.faulty_state event fid
+                && FS.ff_effects dense fid = FS.ff_effects event fid))
+        ids)
+
+let prop_jobs_deterministic =
+  (* Domain-parallel group scheduling must be invisible in the results. *)
+  QCheck2.Test.make ~name:"jobs > 1 gives identical detection times" ~count:6
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let c = gen_circuit seed in
+      let scan = Scanins.Scan.insert c in
+      let m = Model.build scan.Scanins.Scan.circuit in
+      let rng = Prng.Rng.create (Int64.of_int (seed + 7)) in
+      let seq =
+        Vectors.random_seq rng
+          ~width:(C.input_count m.Model.circuit) ~length:40
+      in
+      let ids = Array.init (Model.fault_count m) Fun.id in
+      Logicsim.Faultsim.detection_times m ~fault_ids:ids seq
+      = Logicsim.Faultsim.detection_times ~jobs:3 m ~fault_ids:ids seq)
+
 let prop_collapse_is_semantic =
   (* Two faults in one equivalence class produce the same faulty machine:
      identical output matrices on random stimuli. *)
@@ -212,7 +263,8 @@ let () =
     [
       ( "simulation",
         [ q prop_goodsim_matches_reference; q prop_scan_functional_equivalence;
-          q prop_parallel_equals_serial ] );
+          q prop_parallel_equals_serial; q prop_event_equals_dense;
+          q prop_jobs_deterministic ] );
       ( "faults", [ q prop_collapse_is_semantic ] );
       ( "flow", [ q prop_flow_targets_hold ] );
       ( "compaction", [ q prop_restoration_subset_random_circuits ] );

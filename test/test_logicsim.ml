@@ -218,6 +218,59 @@ let test_faultsim_states_and_effects () =
       end)
     ids
 
+let test_popcount_matches_reference () =
+  let reference x =
+    let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+    go 0 x
+  in
+  Alcotest.(check int) "zero" 0 (Faultsim.popcount 0);
+  Alcotest.(check int) "one" 1 (Faultsim.popcount 1);
+  Alcotest.(check int) "full width" 62 (Faultsim.popcount ((1 lsl 62) - 1));
+  let rng = Prng.Rng.create 77L in
+  for _ = 1 to 1000 do
+    let x = Int64.to_int (Prng.Rng.next rng) land ((1 lsl 62) - 1) in
+    Alcotest.(check int) "random word" (reference x) (Faultsim.popcount x)
+  done
+
+let test_view_slice_and_mask () =
+  let module V = Vectors.View in
+  (* Position i holds One at odd i. *)
+  let seq = Array.init 10 (fun i -> [| (if i mod 2 = 0 then L.Zero else L.One) |]) in
+  let v = V.of_seq seq in
+  Alcotest.(check int) "whole length" 10 (V.length v);
+  let s2 = V.slice (V.slice v 2 6) 1 3 in
+  (* positions 3, 4, 5 of the base *)
+  Alcotest.(check int) "nested slice length" 3 (V.length s2);
+  Alcotest.(check bool) "slice shares vectors" true (V.get s2 0 == seq.(3));
+  Alcotest.(check bool) "slice content" true (L.equal (V.get s2 1).(0) L.Zero);
+  let keep = Array.init 10 (fun i -> i mod 3 = 0) in
+  (* keeps 0, 3, 6, 9 *)
+  let mv = V.masked seq keep in
+  Alcotest.(check int) "mask length" 4 (V.length mv);
+  let mseq = V.to_seq mv in
+  Alcotest.(check bool) "mask picks position 3" true (L.equal mseq.(1).(0) L.One);
+  Alcotest.(check int) "mask + inclusive limit" 2
+    (V.length (V.masked ~limit:5 seq keep));
+  Alcotest.(check bool) "slice of mask" true
+    (L.equal (V.get (V.slice mv 2 2) 1).(0) L.One)
+
+let test_view_advance_equals_array_advance () =
+  (* Feeding a slice view must equal feeding the materialized sub-array. *)
+  let m = s27_model () in
+  let width = C.input_count m.Model.circuit in
+  let rng = Prng.Rng.create 21L in
+  let seq = Vectors.random_seq rng ~width ~length:30 in
+  let ids = Array.init (Model.fault_count m) Fun.id in
+  let sub = Array.sub seq 5 20 in
+  let t_arr = Faultsim.detection_times m ~fault_ids:ids sub in
+  let t_view =
+    Faultsim.detection_times_view m ~fault_ids:ids
+      (Vectors.View.slice (Vectors.View.of_seq seq) 5 20)
+  in
+  Array.iteri
+    (fun i tv -> Alcotest.(check int) "same detection time" t_arr.(i) tv)
+    t_view
+
 let test_faultsim_untargeted_fault_errors () =
   let m = s27_model () in
   let s = Faultsim.create m ~fault_ids:[| 0; 1 |] in
@@ -294,6 +347,10 @@ let () =
             test_faultsim_injected_stuck_line;
           Alcotest.test_case "states and effects" `Quick
             test_faultsim_states_and_effects;
+          Alcotest.test_case "popcount" `Quick test_popcount_matches_reference;
+          Alcotest.test_case "view slice/mask" `Quick test_view_slice_and_mask;
+          Alcotest.test_case "view advance = array advance" `Quick
+            test_view_advance_equals_array_advance;
           Alcotest.test_case "untargeted fault" `Quick
             test_faultsim_untargeted_fault_errors;
           q prop_start_state_continuation;
