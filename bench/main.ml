@@ -35,7 +35,7 @@ let parse_args () =
       ablation = true;
       kernels = true;
       jobs = max 1 (min 8 (Domain.recommended_domain_count () - 1));
-      json = "BENCH_1.json";
+      json = "BENCH_2.json";
     }
   in
   let rec go = function
@@ -185,7 +185,10 @@ let compact_with cfg model seq targets ~restor ~omit =
     else seq, targets
   in
   if omit then
-    fst (Compaction.Omission.run model seq targets cfg.Core.Config.omission)
+    let s, _, _ =
+      Compaction.Omission.run model seq targets cfg.Core.Config.omission
+    in
+    s
   else seq
 
 let ablation_compaction_order () =
@@ -324,9 +327,9 @@ let compare_circuits = [ "s5378"; "s35932" ]
 let best_of n f =
   let best = ref infinity in
   for _ = 1 to n do
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now_ns () in
     f ();
-    best := min !best (Unix.gettimeofday () -. t0)
+    best := min !best (Obs.Clock.to_s (Obs.Clock.elapsed_ns t0))
   done;
   !best
 
@@ -452,6 +455,19 @@ let kernels () =
       (Staged.stage (fun () ->
            ignore (Logicsim.Faultsim.detection_times model ~fault_ids:ids seq)))
   in
+  let test_obs_null =
+    (* Acceptance check for the no-op sink: a span + two counter bumps on
+       the disabled tracer must stay in the nanosecond range so leaving
+       instrumentation compiled into the hot loops is free. *)
+    Test.make ~name:"obs: null-sink span + 2 counters"
+      (Staged.stage
+         (let m = Obs.Metrics.create () in
+          let cs = Obs.Metrics.counters m in
+          fun () ->
+            Obs.Trace.with_span Obs.Trace.null "k" (fun () ->
+                Obs.Counters.add cs "a" 1;
+                Obs.Counters.add cs "b" 2)))
+  in
   let test_podem =
     Test.make ~name:"podem: depth 3, one fault (s27_scan)"
       (Staged.stage (fun () ->
@@ -462,7 +478,7 @@ let kernels () =
   let grouped =
     Test.make_grouped ~name:"scanatpg"
       [ test_table5; test_table6; test_table7; test_goodsim; test_faultsim;
-        test_podem ]
+        test_podem; test_obs_null ]
   in
   let benchmark () =
     let ols =
@@ -513,13 +529,28 @@ let json_escape s =
     s;
   Buffer.contents b
 
+let metrics_json (m : Obs.Metrics.t) =
+  let phases =
+    String.concat ", "
+      (List.map
+         (fun (name, s) -> Printf.sprintf "\"%s\": %.6f" (json_escape name) s)
+         (Obs.Metrics.phases m))
+  in
+  let counters =
+    String.concat ", "
+      (List.map
+         (fun (name, v) -> Printf.sprintf "\"%s\": %d" (json_escape name) v)
+         (Obs.Counters.to_alist (Obs.Metrics.counters m)))
+  in
+  Printf.sprintf "\"phases\": {%s}, \"counters\": {%s}" phases counters
+
 let write_bench_json path ~scale ~jobs ~total_wall_s ~pipelines ~engines
     ~kernel_rows =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   let seq f xs = String.concat ",\n" (List.map f xs) in
   add "{\n";
-  add "  \"schema\": \"scanatpg-bench/1\",\n";
+  add "  \"schema\": \"scanatpg-bench/2\",\n";
   add "  \"scale\": \"%s\",\n" (json_escape scale);
   add "  \"jobs\": %d,\n" jobs;
   add "  \"total_wall_s\": %.3f,\n" total_wall_s;
@@ -529,14 +560,15 @@ let write_bench_json path ~scale ~jobs ~total_wall_s ~pipelines ~engines
          Printf.sprintf
            "    {\"circuit\": \"%s\", \"wall_s\": %.3f, \"targeted\": %d, \
             \"detected\": %d, \"coverage\": %.2f, \"test_len\": %d, \
-            \"omit_len\": %d, \"baseline_cycles\": %d}"
+            \"omit_len\": %d, \"baseline_cycles\": %d, %s}"
            (json_escape r.Core.Pipeline.circuit)
            wall r.Core.Pipeline.row5.Core.Pipeline.faults
            r.Core.Pipeline.row5.Core.Pipeline.detected
            r.Core.Pipeline.row5.Core.Pipeline.fcov
            r.Core.Pipeline.row6.Core.Pipeline.test_len.Core.Pipeline.total
            r.Core.Pipeline.row6.Core.Pipeline.omit_len.Core.Pipeline.total
-           r.Core.Pipeline.row6.Core.Pipeline.baseline_cycles)
+           r.Core.Pipeline.row6.Core.Pipeline.baseline_cycles
+           (metrics_json r.Core.Pipeline.metrics))
        pipelines);
   add "  \"faultsim\": [\n%s\n  ],\n"
     (seq
@@ -572,19 +604,21 @@ let () =
     (List.length o.circuits)
     (match o.scale with Circuits.Profiles.Quick -> "quick" | _ -> "full")
     o.jobs;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   let timed_results =
     parallel_map ~jobs:o.jobs
       (fun name ->
-        let t = Unix.gettimeofday () in
-        let r = Core.Pipeline.run ~scale:o.scale name in
-        let wall = Unix.gettimeofday () -. t in
+        let metrics = Obs.Metrics.create () in
+        let t = Obs.Clock.now_ns () in
+        let r = Core.Pipeline.run ~scale:o.scale ~metrics name in
+        let wall = Obs.Clock.to_s (Obs.Clock.elapsed_ns t) in
         Printf.printf "  %-8s done in %.1fs\n%!" name wall;
         r, wall)
       o.circuits
   in
   let results = List.map fst timed_results in
-  Printf.printf "all pipelines done in %.1fs\n\n%!" (Unix.gettimeofday () -. t0);
+  Printf.printf "all pipelines done in %.1fs\n\n%!"
+    (Obs.Clock.to_s (Obs.Clock.elapsed_ns t0));
   if List.mem 5 o.tables then begin
     print_endline "=== Table 5 (measured) ===";
     print_string (Core.Report.table5 (List.map (fun r -> r.Core.Pipeline.row5) results));
@@ -616,5 +650,5 @@ let () =
   write_bench_json o.json
     ~scale:(match o.scale with Circuits.Profiles.Quick -> "quick" | _ -> "full")
     ~jobs:o.jobs
-    ~total_wall_s:(Unix.gettimeofday () -. t0)
+    ~total_wall_s:(Obs.Clock.to_s (Obs.Clock.elapsed_ns t0))
     ~pipelines:timed_results ~engines ~kernel_rows

@@ -15,4 +15,25 @@ dune build @all
 echo "== dune runtest =="
 dune runtest
 
+echo "== telemetry smoke test =="
+# The table subcommand must produce a parseable metrics document with the
+# versioned schema tag and at least one phase/counter, and a trace file
+# with one JSON object per line.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+dune exec bin/scanatpg.exe -- table 6 --circuits s27 --verbose \
+  --metrics "$tmpdir/metrics.json" --trace "$tmpdir/trace.jsonl" \
+  > "$tmpdir/table.out" 2>&1
+if command -v jq > /dev/null 2>&1; then
+  jq -e '.schema == "scanatpg-metrics/1"' "$tmpdir/metrics.json" > /dev/null
+  jq -e '.phases.generate >= 0' "$tmpdir/metrics.json" > /dev/null
+  jq -e '.counters["omit.trials"] >= 1' "$tmpdir/metrics.json" > /dev/null
+  jq -es 'length >= 1 and all(.[]; .stop_ns >= .start_ns)' \
+    "$tmpdir/trace.jsonl" > /dev/null
+else
+  grep -q '"scanatpg-metrics/1"' "$tmpdir/metrics.json"
+  grep -q '"start_ns"' "$tmpdir/trace.jsonl"
+fi
+grep -q 'omission:' "$tmpdir/table.out"
+
 echo "check: OK"

@@ -57,6 +57,20 @@ let jobs_arg =
         ~doc:"Fault-simulation parallelism (OCaml domains). Results are \
               identical at any value; see DESIGN.md \xc2\xa76.")
 
+let metrics_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write counters and per-phase timings as JSON \
+              (schema scanatpg-metrics/1) to $(docv).")
+
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write phase spans as JSON lines (one span object per line) \
+              to $(docv).")
+
 (* ------------------------------------------------------------- helpers *)
 
 let write_sequence path seq =
@@ -82,56 +96,103 @@ let read_sequence path =
        with End_of_file -> ());
       Array.of_list (List.rev !acc))
 
-let setup_scan ~chains ~seed ~jobs circuit =
+let setup_scan ~chains ~seed ~jobs ?(observe = false) circuit =
   let scan = Scanins.Scan.insert ~chains circuit in
   let model = Faultmodel.Model.build scan.Scanins.Scan.circuit in
   let cfg =
     Core.Config.with_sim_jobs jobs
-      { (Core.Config.for_circuit circuit) with Core.Config.chains; seed }
+      { (Core.Config.for_circuit circuit) with Core.Config.chains; seed; observe }
   in
   scan, model, cfg
 
-let compact_seq cfg model seq targets =
-  let restored = Compaction.Restoration.run model seq targets in
-  let targets_r =
-    Compaction.Target.compute model restored
-      ~fault_ids:targets.Compaction.Target.fault_ids
+let compact_seq cfg model seq targets ~metrics ~trace =
+  let restored, targets_r =
+    Obs.Metrics.timed metrics ~trace "restore" (fun () ->
+        let restored = Compaction.Restoration.run model seq targets in
+        let targets_r =
+          Compaction.Target.compute model restored
+            ~fault_ids:targets.Compaction.Target.fault_ids
+        in
+        restored, targets_r)
   in
-  Compaction.Omission.run model restored targets_r cfg.Core.Config.omission
+  Obs.Metrics.timed metrics ~trace "omit" (fun () ->
+      Compaction.Omission.run model restored targets_r cfg.Core.Config.omission)
+
+let omission_summary (o : Compaction.Omission.stats) =
+  Printf.sprintf "omission: %d trials, %d accepted, %d rejected, %d vectors removed in %d passes"
+    o.Compaction.Omission.trials o.Compaction.Omission.accepted
+    o.Compaction.Omission.rejected o.Compaction.Omission.removed_vectors
+    o.Compaction.Omission.passes
+
+(* Run [f] with a metrics document and a tracer (live only when a --trace
+   file was requested) and write the requested files afterwards.  The
+   confirmations go to stderr so machine-readable stdout (CSV, .bench)
+   stays clean. *)
+let with_obs ~metrics_path ~trace_path f =
+  let metrics = Obs.Metrics.create () in
+  let trace =
+    match trace_path with
+    | None -> Obs.Trace.null
+    | Some _ -> Obs.Trace.create ()
+  in
+  let r = f metrics trace in
+  Option.iter
+    (fun p ->
+      Obs.Metrics.write_file metrics p;
+      Printf.eprintf "wrote %s\n" p)
+    metrics_path;
+  Option.iter
+    (fun p ->
+      Obs.Trace.write_jsonl trace p;
+      Printf.eprintf "wrote %s\n" p)
+    trace_path;
+  r
 
 (* ---------------------------------------------------------------- info *)
 
 let info_cmd =
-  let run spec scale =
-    let c = load_circuit ~scale spec in
-    Format.printf "%a@." Netlist.Circuit.pp_summary c;
-    Format.printf "%a@." Netlist.Stats.pp (Netlist.Stats.of_circuit c);
-    if Netlist.Circuit.dff_count c > 0 then begin
-      let scan = Scanins.Scan.insert c in
-      let model = Faultmodel.Model.build scan.Scanins.Scan.circuit in
-      Format.printf "scan version: %a@." Netlist.Circuit.pp_summary
-        scan.Scanins.Scan.circuit;
-      Format.printf "faults: %d collapsed (universe %d)@."
-        (Faultmodel.Model.fault_count model)
-        model.Faultmodel.Model.universe_size
-    end
+  let run spec scale metrics_path trace_path =
+    with_obs ~metrics_path ~trace_path (fun metrics trace ->
+        let c =
+          Obs.Metrics.timed metrics ~trace "load" (fun () ->
+              load_circuit ~scale spec)
+        in
+        Format.printf "%a@." Netlist.Circuit.pp_summary c;
+        Format.printf "%a@." Netlist.Stats.pp (Netlist.Stats.of_circuit c);
+        if Netlist.Circuit.dff_count c > 0 then begin
+          let scan, model =
+            Obs.Metrics.timed metrics ~trace "model-build" (fun () ->
+                let scan = Scanins.Scan.insert c in
+                scan, Faultmodel.Model.build scan.Scanins.Scan.circuit)
+          in
+          Format.printf "scan version: %a@." Netlist.Circuit.pp_summary
+            scan.Scanins.Scan.circuit;
+          Format.printf "faults: %d collapsed (universe %d)@."
+            (Faultmodel.Model.fault_count model)
+            model.Faultmodel.Model.universe_size
+        end)
   in
   Cmd.v (Cmd.info "info" ~doc:"Show circuit structure and fault statistics.")
-    Term.(const run $ circuit_arg $ scale_arg)
+    Term.(const run $ circuit_arg $ scale_arg $ metrics_arg $ trace_arg)
 
 (* -------------------------------------------------------------- export *)
 
 let export_cmd =
-  let run spec scale out =
-    let c = load_circuit ~scale spec in
-    match out with
-    | Some path ->
-      Netlist.Bench_format.write_file path c;
-      Printf.printf "wrote %s\n" path
-    | None -> print_string (Netlist.Bench_format.to_string c)
+  let run spec scale out metrics_path trace_path =
+    with_obs ~metrics_path ~trace_path (fun metrics trace ->
+        let c =
+          Obs.Metrics.timed metrics ~trace "load" (fun () ->
+              load_circuit ~scale spec)
+        in
+        Obs.Metrics.timed metrics ~trace "export" (fun () ->
+            match out with
+            | Some path ->
+              Netlist.Bench_format.write_file path c;
+              Printf.printf "wrote %s\n" path
+            | None -> print_string (Netlist.Bench_format.to_string c)))
   in
   Cmd.v (Cmd.info "export" ~doc:"Write a catalog circuit in .bench format.")
-    Term.(const run $ circuit_arg $ scale_arg $ out_arg)
+    Term.(const run $ circuit_arg $ scale_arg $ out_arg $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------ generate *)
 
@@ -145,50 +206,67 @@ let generate_cmd =
       & info [ "tester" ] ~docv:"FILE"
           ~doc:"Also write a tester program (stimulus + expected responses).")
   in
-  let run spec scale seed chains jobs no_compact out tester =
-    let c = load_circuit ~scale spec in
-    let scan, model, cfg = setup_scan ~chains ~seed ~jobs c in
-    let sk = Atpg.Scan_knowledge.create scan in
-    let flow = Core.Flow.generate cfg sk model in
-    Printf.printf
-      "coverage %.2f%% (%d/%d targeted, %d proven redundant excluded)\n"
-      (Core.Flow.coverage flow) flow.Core.Flow.detected flow.Core.Flow.targeted
-      flow.Core.Flow.pruned_redundant;
-    Printf.printf "  by random %d, by ATPG %d, by scan drain %d, by scan load %d\n"
-      flow.Core.Flow.by_random flow.Core.Flow.by_atpg flow.Core.Flow.by_drain
-      flow.Core.Flow.by_justify;
-    let seq = flow.Core.Flow.sequence in
-    Printf.printf "sequence: %d vectors (%d scan)\n" (Array.length seq)
-      (Core.Pipeline.scan_count scan seq);
-    let final =
-      if no_compact then seq
-      else begin
-        let compacted, _ = compact_seq cfg model seq flow.Core.Flow.targets in
-        Printf.printf "compacted: %d vectors (%d scan)\n" (Array.length compacted)
-          (Core.Pipeline.scan_count scan compacted);
-        compacted
-      end
-    in
-    Option.iter
-      (fun path ->
-        write_sequence path final;
-        Printf.printf "wrote %s\n" path)
-      out;
-    Option.iter
-      (fun path ->
-        let program = Core.Tester.build scan.Scanins.Scan.circuit final in
-        Core.Tester.write_file path program;
-        Printf.printf "wrote %s (%d cycles, %d observing)\n" path
-          (Array.length final)
-          (Core.Tester.observing_cycles program))
-      tester
+  let observe =
+    Arg.(
+      value & flag
+      & info [ "observe" ]
+          ~doc:"Also count good-machine toggle / switching activity \
+                (reported via --metrics).")
+  in
+  let run spec scale seed chains jobs no_compact out tester observe
+      metrics_path trace_path =
+    with_obs ~metrics_path ~trace_path (fun metrics trace ->
+        let c = load_circuit ~scale spec in
+        let scan, model, cfg = setup_scan ~chains ~seed ~jobs ~observe c in
+        let sk = Atpg.Scan_knowledge.create scan in
+        let flow =
+          Obs.Metrics.timed metrics ~trace "generate" (fun () ->
+              Core.Flow.generate ~metrics cfg sk model)
+        in
+        Printf.printf
+          "coverage %.2f%% (%d/%d targeted, %d proven redundant excluded)\n"
+          (Core.Flow.coverage flow) flow.Core.Flow.detected
+          flow.Core.Flow.targeted flow.Core.Flow.pruned_redundant;
+        Printf.printf
+          "  by random %d, by ATPG %d, by scan drain %d, by scan load %d\n"
+          flow.Core.Flow.by_random flow.Core.Flow.by_atpg flow.Core.Flow.by_drain
+          flow.Core.Flow.by_justify;
+        let seq = flow.Core.Flow.sequence in
+        Printf.printf "sequence: %d vectors (%d scan)\n" (Array.length seq)
+          (Core.Pipeline.scan_count scan seq);
+        let final =
+          if no_compact then seq
+          else begin
+            let compacted, _, ostats =
+              compact_seq cfg model seq flow.Core.Flow.targets ~metrics ~trace
+            in
+            Printf.printf "compacted: %d vectors (%d scan)\n"
+              (Array.length compacted)
+              (Core.Pipeline.scan_count scan compacted);
+            Printf.printf "  %s\n" (omission_summary ostats);
+            compacted
+          end
+        in
+        Option.iter
+          (fun path ->
+            write_sequence path final;
+            Printf.printf "wrote %s\n" path)
+          out;
+        Option.iter
+          (fun path ->
+            let program = Core.Tester.build scan.Scanins.Scan.circuit final in
+            Core.Tester.write_file path program;
+            Printf.printf "wrote %s (%d cycles, %d observing)\n" path
+              (Array.length final)
+              (Core.Tester.observing_cycles program))
+          tester)
   in
   Cmd.v
     (Cmd.info "generate"
        ~doc:"Generate (and compact) a unified test sequence for a circuit.")
     Term.(
       const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ jobs_arg
-      $ no_compact $ out_arg $ tester_arg)
+      $ no_compact $ out_arg $ tester_arg $ observe $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------- compact *)
 
@@ -199,32 +277,37 @@ let compact_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"SEQFILE" ~doc:"Sequence file (one 01x vector per line).")
   in
-  let run spec scale seed chains jobs seqfile out =
-    let c = load_circuit ~scale spec in
-    let scan, model, cfg = setup_scan ~chains ~seed ~jobs c in
-    let seq = read_sequence seqfile in
-    let nf = Faultmodel.Model.fault_count model in
-    let targets =
-      Compaction.Target.compute model seq ~fault_ids:(Array.init nf Fun.id)
-    in
-    Printf.printf "sequence detects %d/%d faults\n" (Compaction.Target.count targets) nf;
-    let compacted, _ = compact_seq cfg model seq targets in
-    Printf.printf "%d -> %d vectors (scan %d -> %d)\n" (Array.length seq)
-      (Array.length compacted)
-      (Core.Pipeline.scan_count scan seq)
-      (Core.Pipeline.scan_count scan compacted);
-    Option.iter
-      (fun path ->
-        write_sequence path compacted;
-        Printf.printf "wrote %s\n" path)
-      out
+  let run spec scale seed chains jobs seqfile out metrics_path trace_path =
+    with_obs ~metrics_path ~trace_path (fun metrics trace ->
+        let c = load_circuit ~scale spec in
+        let scan, model, cfg = setup_scan ~chains ~seed ~jobs c in
+        let seq = read_sequence seqfile in
+        let nf = Faultmodel.Model.fault_count model in
+        let targets =
+          Obs.Metrics.timed metrics ~trace "target-compute" (fun () ->
+              Compaction.Target.compute model seq
+                ~fault_ids:(Array.init nf Fun.id))
+        in
+        Printf.printf "sequence detects %d/%d faults\n"
+          (Compaction.Target.count targets) nf;
+        let compacted, _, ostats = compact_seq cfg model seq targets ~metrics ~trace in
+        Printf.printf "%d -> %d vectors (scan %d -> %d)\n" (Array.length seq)
+          (Array.length compacted)
+          (Core.Pipeline.scan_count scan seq)
+          (Core.Pipeline.scan_count scan compacted);
+        Printf.printf "%s\n" (omission_summary ostats);
+        Option.iter
+          (fun path ->
+            write_sequence path compacted;
+            Printf.printf "wrote %s\n" path)
+          out)
   in
   Cmd.v
     (Cmd.info "compact"
        ~doc:"Statically compact a test sequence (restoration, then omission).")
     Term.(
       const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ jobs_arg
-      $ seq_arg $ out_arg)
+      $ seq_arg $ out_arg $ metrics_arg $ trace_arg)
 
 (* --------------------------------------------------------------- table *)
 
@@ -244,26 +327,59 @@ let table_cmd =
   let csv_arg =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of the text table.")
   in
-  let run which names scale csv =
-    let results = List.map (fun n -> Core.Pipeline.run ~scale n) names in
-    let pick text_fn csv_fn rows = if csv then csv_fn rows else text_fn rows in
-    match which with
-    | `T5 ->
-      print_string
-        (pick Core.Report.table5 Core.Report.table5_csv
-           (List.map (fun r -> r.Core.Pipeline.row5) results))
-    | `T6 ->
-      print_string
-        (pick Core.Report.table6 Core.Report.table6_csv
-           (List.map (fun r -> r.Core.Pipeline.row6) results))
-    | `T7 ->
-      print_string
-        (pick Core.Report.table7 Core.Report.table7_csv
-           (List.filter_map (fun r -> r.Core.Pipeline.row7) results))
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Also print per-circuit runtime and compaction statistics.")
+  in
+  let observe_arg =
+    Arg.(
+      value & flag
+      & info [ "observe" ]
+          ~doc:"Also count good-machine toggle / switching activity \
+                (reported via --metrics).")
+  in
+  let run which names scale csv jobs verbose observe metrics_path trace_path =
+    with_obs ~metrics_path ~trace_path (fun metrics trace ->
+        let results =
+          List.map
+            (fun n ->
+              let c = Circuits.Catalog.circuit ~scale n in
+              let config =
+                Core.Config.with_sim_jobs jobs
+                  { (Core.Config.for_circuit c) with Core.Config.observe }
+              in
+              Core.Pipeline.run ~scale ~config ~metrics ~trace n)
+            names
+        in
+        let pick text_fn csv_fn rows = if csv then csv_fn rows else text_fn rows in
+        (match which with
+         | `T5 ->
+           print_string
+             (pick Core.Report.table5 Core.Report.table5_csv
+                (List.map (fun r -> r.Core.Pipeline.row5) results))
+         | `T6 ->
+           print_string
+             (pick Core.Report.table6 Core.Report.table6_csv
+                (List.map (fun r -> r.Core.Pipeline.row6) results))
+         | `T7 ->
+           print_string
+             (pick Core.Report.table7 Core.Report.table7_csv
+                (List.filter_map (fun r -> r.Core.Pipeline.row7) results)));
+        if verbose then
+          List.iter
+            (fun r ->
+              Printf.printf "%s: %.2fs; %s\n" r.Core.Pipeline.circuit
+                r.Core.Pipeline.runtime_s
+                (omission_summary r.Core.Pipeline.omit_stats))
+            results)
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate rows of the paper's Tables 5-7.")
-    Term.(const run $ which_arg $ circuits_arg $ scale_arg $ csv_arg)
+    Term.(
+      const run $ which_arg $ circuits_arg $ scale_arg $ csv_arg $ jobs_arg
+      $ verbose_arg $ observe_arg $ metrics_arg $ trace_arg)
 
 let () =
   let doc =

@@ -31,7 +31,7 @@ let () =
     Compaction.Target.compute model restored
       ~fault_ids:flow.Core.Flow.targets.Compaction.Target.fault_ids
   in
-  let compacted, _ =
+  let compacted, _, _ =
     Compaction.Omission.run model restored targets cfg.Core.Config.omission
   in
   Printf.printf "\ncoverage %.2f%%; %d -> %d cycles after compaction\n"

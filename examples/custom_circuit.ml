@@ -59,7 +59,7 @@ let () =
     Compaction.Target.compute model restored
       ~fault_ids:flow.Core.Flow.targets.Compaction.Target.fault_ids
   in
-  let compacted, _ =
+  let compacted, _, _ =
     Compaction.Omission.run model restored targets_r cfg.Core.Config.omission
   in
   Printf.printf "after compaction: %d cycles (%d of them scan)\n"

@@ -33,7 +33,7 @@ let run_with_chains name chains =
     Compaction.Target.compute model restored
       ~fault_ids:flow.Core.Flow.targets.Compaction.Target.fault_ids
   in
-  let compacted, _ =
+  let compacted, _, _ =
     Compaction.Omission.run model restored targets_r cfg.Core.Config.omission
   in
   Printf.printf "\n=== %s with %d scan chain(s), N_SV = %d ===\n" name chains

@@ -48,7 +48,7 @@ let () =
     Compaction.Target.compute model restored
       ~fault_ids:targets.Compaction.Target.fault_ids
   in
-  let compacted, _ =
+  let compacted, _, _ =
     Compaction.Omission.run model restored targets_r cfg.Core.Config.omission
   in
   Printf.printf

@@ -24,6 +24,14 @@ type start =
     }
   | Free_state
 
+type stats = {
+  mutable calls : int;
+  mutable decisions : int;
+  mutable backtracks : int;
+}
+
+let make_stats () = { calls = 0; decisions = 0; backtracks = 0 }
+
 type engine = {
   circuit : Circuit.t;
   order : int array;
@@ -348,7 +356,7 @@ let set_var e fr var v =
   if fr < e.dirty then e.dirty <- fr
 
 let run model ~fault ~depth ~start ~backtrack_limit ?(fixed_inputs = [])
-    ?(observe_ffs = false) () =
+    ?(observe_ffs = false) ?stats () =
   let c = model.Model.circuit in
   let nodes = Circuit.node_count c in
   let inputs = Circuit.inputs c in
@@ -396,6 +404,7 @@ let run model ~fault ~depth ~start ~backtrack_limit ?(fixed_inputs = [])
     fixed_inputs;
   simulate e;
   let decisions = Stack.create () in
+  let ndecisions = ref 0 in
   let backtracks = ref 0 in
   let max_steps = 50 * (depth * ninputs + nff + 1) * (backtrack_limit + 1) in
   let steps = ref 0 in
@@ -447,10 +456,18 @@ let run model ~fault ~depth ~start ~backtrack_limit ?(fixed_inputs = [])
              | None -> try_objectives rest
              | Some (fr, var, v) ->
                Stack.push (fr, var, v, false) decisions;
+               incr ndecisions;
                set_var e fr var v;
                simulate e;
                solve ())
         in
         try_objectives (objectives e)
   in
-  solve ()
+  let outcome = solve () in
+  (match stats with
+   | None -> ()
+   | Some s ->
+     s.calls <- s.calls + 1;
+     s.decisions <- s.decisions + !ndecisions;
+     s.backtracks <- s.backtracks + !backtracks);
+  outcome

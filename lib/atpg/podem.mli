@@ -40,13 +40,25 @@ type start =
     (** scan-based mode: frame-0 state is controllable (decision variables)
         and is reported as [required_state] *)
 
+(** Search-effort telemetry, accumulated across {!run} calls that were
+    handed the same record: solver invocations, decision-variable
+    assignments, and backtracks (decision flips). *)
+type stats = {
+  mutable calls : int;
+  mutable decisions : int;
+  mutable backtracks : int;
+}
+
+val make_stats : unit -> stats
+
 (** [run model ~fault ~depth ~start ~backtrack_limit ?fixed_inputs ()]
     attempts to detect [fault] (an index into [model.faults]) within [depth]
     frames.  [fixed_inputs] pins chosen primary inputs (by input position)
     to a constant in every frame — used by the baseline to hold
     [scan_sel = 0].  With [observe_ffs] (default [false]) the search also
     succeeds when the fault effect is latched into a flip-flop after the
-    last frame, reporting {!Latched}. *)
+    last frame, reporting {!Latched}.  [stats], when given, accumulates the
+    call's search effort. *)
 val run :
   Faultmodel.Model.t ->
   fault:int ->
@@ -55,5 +67,6 @@ val run :
   backtrack_limit:int ->
   ?fixed_inputs:(int * Netlist.Logic.t) list ->
   ?observe_ffs:bool ->
+  ?stats:stats ->
   unit ->
   outcome

@@ -13,13 +13,13 @@ let config_for c =
   let deep = 8 + (lv.Levelize.depth / 8) in
   { default_config with depths = [ 1; 2; 3; 5; deep ] }
 
-let search model cfg ~fault ~start ~observe_ffs ~fixed_inputs =
+let search model cfg ~fault ~start ~observe_ffs ~fixed_inputs ?stats () =
   let rec go = function
     | [] -> None
     | depth :: rest ->
       (match
          Podem.run model ~fault ~depth ~start ~backtrack_limit:cfg.backtrack_limit
-           ~fixed_inputs ~observe_ffs ()
+           ~fixed_inputs ~observe_ffs ?stats ()
        with
        | Podem.Detected { vectors; required_state } -> Some (`Detected (vectors, required_state))
        | Podem.Latched { vectors; required_state; dff } ->
@@ -28,29 +28,30 @@ let search model cfg ~fault ~start ~observe_ffs ~fixed_inputs =
   in
   go cfg.depths
 
-let detect model cfg ~fault ~good ~faulty =
+let detect model cfg ~fault ~good ~faulty ?stats () =
   match
     search model cfg ~fault
       ~start:(Podem.From_state { good; faulty })
-      ~observe_ffs:false ~fixed_inputs:[]
+      ~observe_ffs:false ~fixed_inputs:[] ?stats ()
   with
   | Some (`Detected (vectors, _)) -> Some vectors
   | Some (`Latched _) -> None
   | None -> None
 
-let detect_latch model cfg ~fault ~good ~faulty =
+let detect_latch model cfg ~fault ~good ~faulty ?stats () =
   match
     search model cfg ~fault
       ~start:(Podem.From_state { good; faulty })
-      ~observe_ffs:true ~fixed_inputs:[]
+      ~observe_ffs:true ~fixed_inputs:[] ?stats ()
   with
   | Some (`Detected (vectors, _)) -> Some (`Detected vectors)
   | Some (`Latched (vectors, _, dff)) -> Some (`Latched (vectors, dff))
   | None -> None
 
-let detect_free model cfg ~fault ?(fixed_inputs = []) () =
+let detect_free model cfg ~fault ?(fixed_inputs = []) ?stats () =
   match
-    search model cfg ~fault ~start:Podem.Free_state ~observe_ffs:false ~fixed_inputs
+    search model cfg ~fault ~start:Podem.Free_state ~observe_ffs:false
+      ~fixed_inputs ?stats ()
   with
   | Some (`Detected (vectors, Some state)) -> Some (state, vectors)
   | Some (`Detected (_, None)) | Some (`Latched _) | None -> None

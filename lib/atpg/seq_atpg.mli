@@ -27,6 +27,8 @@ val detect :
   fault:int ->
   good:Netlist.Logic.t array ->
   faulty:Netlist.Logic.t array ->
+  ?stats:Podem.stats ->
+  unit ->
   Logicsim.Vectors.t option
 
 (** Like {!detect} but also succeeds when the fault effect gets latched into
@@ -37,6 +39,8 @@ val detect_latch :
   fault:int ->
   good:Netlist.Logic.t array ->
   faulty:Netlist.Logic.t array ->
+  ?stats:Podem.stats ->
+  unit ->
   [ `Detected of Logicsim.Vectors.t | `Latched of Logicsim.Vectors.t * int ] option
 
 (** [detect_free model cfg ~fault ~fixed_inputs] searches with a free
@@ -47,5 +51,6 @@ val detect_free :
   config ->
   fault:int ->
   ?fixed_inputs:(int * Netlist.Logic.t) list ->
+  ?stats:Podem.stats ->
   unit ->
   (Netlist.Logic.t array * Logicsim.Vectors.t) option

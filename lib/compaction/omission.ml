@@ -13,6 +13,15 @@ type config = {
 let default_config =
   { max_passes = 5; max_trials = None; window = 48; horizon = 128; jobs = 1 }
 
+type stats = {
+  trials : int;
+  accepted : int;
+  rejected : int;
+  removed_vectors : int;
+  passes : int;
+  removed_per_pass : int array;
+}
+
 (* One left-to-right pass trying to omit [chunk] consecutive vectors per
    trial.  [det] maps target index -> detection time in the current
    sequence; updated in place on acceptance.  The main session holds every
@@ -25,6 +34,7 @@ let one_pass model (targets : Target.t) config ~chunk seq det budget =
   let n = Target.count targets in
   let seq = ref seq in
   let changed = ref false in
+  let trials = ref 0 and accepted = ref 0 and removed = ref 0 in
   let i = ref 0 in
   let session = ref (Faultsim.create model ~fault_ids:targets.Target.fault_ids) in
   (* Verify a trial by simulating the suffix in chunks.  Each target must
@@ -105,9 +115,12 @@ let one_pass model (targets : Target.t) config ~chunk seq det budget =
         if not quick then None else probe subset ~base ~old_base suffix
       end
     in
+    incr trials;
     (match accept with
      | Some new_times ->
        changed := true;
+       incr accepted;
+       removed := !removed + c;
        seq := Array.append (Array.sub !seq 0 !i) (View.to_seq suffix);
        Array.iteri (fun j k -> det.(k) <- new_times.(j)) subset
      | None ->
@@ -120,7 +133,7 @@ let one_pass model (targets : Target.t) config ~chunk seq det budget =
      | Some b -> decr b
      | None -> ())
   done;
-  !seq, !changed
+  !seq, !changed, (!trials, !accepted, !removed)
 
 let run model seq (targets : Target.t) config =
   let n = Target.count targets in
@@ -141,16 +154,32 @@ let run model seq (targets : Target.t) config =
   in
   let seq = ref seq in
   let continue_ = ref true in
-  List.iteri
-    (fun pass_idx chunk ->
+  let trials = ref 0 and accepted = ref 0 in
+  let per_pass = ref [] in
+  List.iter
+    (fun chunk ->
       if !continue_ && budget_left () then begin
-        let seq', changed = one_pass model targets config ~chunk !seq det budget in
+        let seq', changed, (t, a, r) =
+          one_pass model targets config ~chunk !seq det budget
+        in
         seq := seq';
+        trials := !trials + t;
+        accepted := !accepted + a;
+        per_pass := r :: !per_pass;
         (* Stop early only once the fine passes make no progress. *)
-        if chunk = 1 && not changed then continue_ := false;
-        ignore pass_idx
+        if chunk = 1 && not changed then continue_ := false
       end)
     schedule;
+  let removed_per_pass = Array.of_list (List.rev !per_pass) in
+  let stats =
+    { trials = !trials;
+      accepted = !accepted;
+      rejected = !trials - !accepted;
+      removed_vectors = Array.fold_left ( + ) 0 removed_per_pass;
+      passes = Array.length removed_per_pass;
+      removed_per_pass }
+  in
   ( !seq,
     { Target.fault_ids = Array.copy targets.Target.fault_ids;
-      det_times = Array.init n (fun k -> det.(k)) } )
+      det_times = Array.init n (fun k -> det.(k)) },
+    stats )

@@ -27,11 +27,24 @@ type config = {
 
 val default_config : config
 
+(** Outcome telemetry of one {!run}: omission trials attempted, accepted
+    and rejected, total vectors removed, passes executed, and the removal
+    count of each pass in order. *)
+type stats = {
+  trials : int;
+  accepted : int;
+  rejected : int;
+  removed_vectors : int;
+  passes : int;
+  removed_per_pass : int array;
+}
+
 (** [run model seq targets config] returns the compacted sequence together
-    with the targets' detection times in it. *)
+    with the targets' detection times in it and the run's trial
+    statistics. *)
 val run :
   Faultmodel.Model.t ->
   Logicsim.Vectors.t ->
   Target.t ->
   config ->
-  Logicsim.Vectors.t * Target.t
+  Logicsim.Vectors.t * Target.t * stats

@@ -18,7 +18,20 @@ let subsequence ?limit seq keep = View.masked ?limit seq keep
 let batch_width = 62
 let restore_chunk = 4
 
-let run model seq (targets : Target.t) =
+type stats = {
+  mutable restored : int;
+  mutable probes : int;
+  mutable batch_sims : int;
+}
+
+let make_stats () = { restored = 0; probes = 0; batch_sims = 0 }
+
+let run ?stats model seq (targets : Target.t) =
+  let count f =
+    match stats with
+    | None -> ()
+    | Some s -> f s
+  in
   let len = Array.length seq in
   let n = Target.count targets in
   let keep = Array.make len false in
@@ -38,6 +51,7 @@ let run model seq (targets : Target.t) =
       let ids =
         Array.of_list (List.map (fun k -> targets.Target.fault_ids.(k)) pending)
       in
+      count (fun s -> s.batch_sims <- s.batch_sims + 1);
       let times =
         Faultsim.detection_times_view model ~fault_ids:ids (subsequence seq keep)
       in
@@ -57,6 +71,7 @@ let run model seq (targets : Target.t) =
       while !added < restore_chunk && !q >= 0 do
         if not keep.(!q) then begin
           keep.(!q) <- true;
+          count (fun s -> s.restored <- s.restored + 1);
           incr added
         end;
         decr q
@@ -66,6 +81,7 @@ let run model seq (targets : Target.t) =
            reproduced, so the fault is detected. *)
         finished := true
       else begin
+        count (fun s -> s.probes <- s.probes + 1);
         match
           Faultsim.detects_single_view model ~fault:fid
             (subsequence ~limit:dt seq keep)

@@ -9,8 +9,21 @@
     [scan_sel = 1] cycles — turning complete scan operations into limited
     ones. *)
 
+(** Work telemetry, accumulated across {!run} calls that were handed the
+    same record: vectors restored into the selection, single-fault probe
+    simulations, and whole-batch parallel simulations. *)
+type stats = {
+  mutable restored : int;
+  mutable probes : int;
+  mutable batch_sims : int;
+}
+
+val make_stats : unit -> stats
+
 (** [run model seq targets] returns the restored subsequence (original
     vector order; a subset of [seq]'s vectors).  The result is guaranteed to
-    detect every target. *)
+    detect every target.  [stats], when given, accumulates the run's work
+    counters. *)
 val run :
+  ?stats:stats ->
   Faultmodel.Model.t -> Logicsim.Vectors.t -> Target.t -> Logicsim.Vectors.t

@@ -9,6 +9,7 @@ type t = {
   omission : Compaction.Omission.config;
   chains : int;
   sim_jobs : int;
+  observe : bool;
 }
 
 let default =
@@ -23,6 +24,7 @@ let default =
     omission = Compaction.Omission.default_config;
     chains = 1;
     sim_jobs = 1;
+    observe = false;
   }
 
 let for_circuit c = { default with atpg = Atpg.Seq_atpg.config_for c }

@@ -20,6 +20,9 @@ type t = {
   sim_jobs : int;
   (** domains the fault simulator may schedule fault groups across
       (default 1 = sequential; results are identical at any value) *)
+  observe : bool;
+  (** count good-machine toggle / switching activity in the flow's main
+      simulation session (default [false]; small extra per-frame cost) *)
 }
 
 val default : t

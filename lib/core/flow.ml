@@ -23,7 +23,31 @@ let coverage s =
   if s.targeted = 0 then 100.0
   else 100.0 *. float_of_int s.detected /. float_of_int s.targeted
 
-let generate (cfg : Config.t) sk model =
+(* Fold the flow's search-effort and simulation telemetry into a metrics
+   document.  Only the main session is counted: probe sessions created by
+   [commit]'s verification are single-job and by-construction deterministic,
+   but they are throwaway and their totals add nothing a reader of the
+   document can act on. *)
+let record_telemetry metrics ~observe (atpg : Atpg.Podem.stats) session =
+  let c = Obs.Metrics.counters metrics in
+  Obs.Counters.add c "atpg.calls" atpg.Atpg.Podem.calls;
+  Obs.Counters.add c "atpg.decisions" atpg.Atpg.Podem.decisions;
+  Obs.Counters.add c "atpg.backtracks" atpg.Atpg.Podem.backtracks;
+  let st = Faultsim.stats session in
+  Obs.Counters.add c "sim.frames" st.Faultsim.frames;
+  Obs.Counters.add c "sim.gframes" st.Faultsim.gframes;
+  Obs.Counters.add c "sim.events" st.Faultsim.events;
+  Obs.Counters.add c "sim.wakeups" st.Faultsim.wakeups;
+  Obs.Counters.add c "sim.kills" st.Faultsim.kills;
+  Obs.Counters.add c "sim.repacks" st.Faultsim.repacks;
+  if observe then begin
+    Obs.Counters.add c "activity.toggles" st.Faultsim.toggles;
+    Obs.Counters.add c "activity.wsa" st.Faultsim.wsa;
+    Obs.Metrics.add_hist metrics "sim.frame_toggles"
+      (Faultsim.frame_toggles session)
+  end
+
+let generate ?metrics (cfg : Config.t) sk model =
   let scan = Atpg.Scan_knowledge.scan sk in
   let universe = Model.fault_count model in
   let target_ids, redundant, _unknown =
@@ -33,8 +57,10 @@ let generate (cfg : Config.t) sk model =
   in
   let rng = Prng.Rng.of_string cfg.Config.seed (Circuit.name model.Model.circuit) in
   let session =
-    Faultsim.create ~jobs:cfg.Config.sim_jobs model ~fault_ids:target_ids
+    Faultsim.create ~jobs:cfg.Config.sim_jobs ~observe:cfg.Config.observe
+      model ~fault_ids:target_ids
   in
+  let atpg_stats = Atpg.Podem.make_stats () in
   let parts = ref [] in
   let append vecs =
     if Array.length vecs > 0 then begin
@@ -90,6 +116,7 @@ let generate (cfg : Config.t) sk model =
           if cfg.Config.use_drain then begin
             match
               Atpg.Seq_atpg.detect_latch model cfg.Config.atpg ~fault:fid ~good ~faulty
+                ~stats:atpg_stats ()
             with
             | Some (`Detected vecs) -> commit fid (Vectors.fill_x rng vecs) by_atpg
             | Some (`Latched (vecs, dff)) ->
@@ -99,13 +126,18 @@ let generate (cfg : Config.t) sk model =
             | None -> false
           end
           else begin
-            match Atpg.Seq_atpg.detect model cfg.Config.atpg ~fault:fid ~good ~faulty with
+            match
+              Atpg.Seq_atpg.detect model cfg.Config.atpg ~fault:fid ~good ~faulty
+                ~stats:atpg_stats ()
+            with
             | Some vecs -> commit fid (Vectors.fill_x rng vecs) by_atpg
             | None -> false
           end
         in
         if (not found) && cfg.Config.use_justify then begin
-          match Atpg.Seq_atpg.detect_free model free_cfg ~fault:fid () with
+          match
+            Atpg.Seq_atpg.detect_free model free_cfg ~fault:fid ~stats:atpg_stats ()
+          with
           | Some (state, vecs) ->
             let load = Atpg.Scan_knowledge.load sk ~rng ~state in
             let vecs = Vectors.fill_x rng vecs in
@@ -130,6 +162,9 @@ let generate (cfg : Config.t) sk model =
       det_times = Array.of_list (List.rev !times);
     }
   in
+  (match metrics with
+   | None -> ()
+   | Some m -> record_telemetry m ~observe:cfg.Config.observe atpg_stats session);
   {
     sequence;
     universe;

@@ -32,7 +32,13 @@ type stats = {
   (** detected faults with detection times, ready for compaction *)
 }
 
+(** [generate ?metrics cfg sk model] runs the flow.  [metrics], when given,
+    receives the flow's search-effort and simulation counters ([atpg.*],
+    [sim.*], and — with [cfg.observe] — [activity.*] plus the
+    [sim.frame_toggles] histogram); every counter is independent of
+    [cfg.sim_jobs]. *)
 val generate :
+  ?metrics:Obs.Metrics.t ->
   Config.t -> Atpg.Scan_knowledge.t -> Faultmodel.Model.t -> stats
 
 (** Fault coverage in percent: [detected / targeted]. *)

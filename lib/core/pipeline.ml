@@ -44,6 +44,8 @@ type result = {
   row7 : table7_row option;
   flow : Flow.stats;
   runtime_s : float;
+  metrics : Obs.Metrics.t;
+  omit_stats : Compaction.Omission.stats;
 }
 
 let scan_count scan seq =
@@ -55,11 +57,17 @@ let lengths scan seq = { total = Array.length seq; scan = scan_count scan seq }
    omission trial budget adapts to the restored length so that very large
    circuits stay within a laptop-scale run; the budget is far above what the
    schedule consumes on the small and medium benchmarks. *)
-let compact cfg model seq targets =
-  let restored = Compaction.Restoration.run model seq targets in
-  let targets_r =
-    Compaction.Target.compute ~jobs:cfg.Config.sim_jobs model restored
-      ~fault_ids:targets.Compaction.Target.fault_ids
+let compact cfg model seq targets ~metrics ~trace ~rstats =
+  let restored, targets_r =
+    Obs.Metrics.timed metrics ~trace "restore" (fun () ->
+        let restored =
+          Compaction.Restoration.run ~stats:rstats model seq targets
+        in
+        let targets_r =
+          Compaction.Target.compute ~jobs:cfg.Config.sim_jobs model restored
+            ~fault_ids:targets.Compaction.Target.fault_ids
+        in
+        restored, targets_r)
   in
   let omission =
     match cfg.Config.omission.Compaction.Omission.max_trials with
@@ -68,43 +76,77 @@ let compact cfg model seq targets =
       { cfg.Config.omission with
         Compaction.Omission.max_trials = Some ((4 * Array.length restored) + 2000) }
   in
-  let omitted, _ = Compaction.Omission.run model restored targets_r omission in
-  restored, omitted
+  let omitted, _, ostats =
+    Obs.Metrics.timed metrics ~trace "omit" (fun () ->
+        Compaction.Omission.run model restored targets_r omission)
+  in
+  let c = Obs.Metrics.counters metrics in
+  Obs.Counters.add c "omit.trials" ostats.Compaction.Omission.trials;
+  Obs.Counters.add c "omit.accepted" ostats.Compaction.Omission.accepted;
+  Obs.Counters.add c "omit.rejected" ostats.Compaction.Omission.rejected;
+  Obs.Counters.add c "omit.removed_vectors"
+    ostats.Compaction.Omission.removed_vectors;
+  Obs.Counters.add c "omit.passes" ostats.Compaction.Omission.passes;
+  restored, omitted, ostats
 
-let run ?(scale = Circuits.Profiles.Quick) ?config name =
-  let t0 = Sys.time () in
+let run ?(scale = Circuits.Profiles.Quick) ?config ?metrics ?(trace = Obs.Trace.null)
+    name =
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None -> Obs.Metrics.create ()
+  in
+  (* Wall clock, not [Sys.time]: CPU time both under-reports sleep/IO and
+     over-reports domain-parallel phases (it sums across cores). *)
+  let t0 = Obs.Clock.now_ns () in
+  let rstats = Compaction.Restoration.make_stats () in
   let c = Circuits.Catalog.circuit ~scale name in
   let cfg =
     match config with
     | Some cfg -> cfg
     | None -> Config.for_circuit c
   in
-  let scan = Scan.insert ~chains:cfg.Config.chains c in
-  let model = Model.build scan.Scan.circuit in
+  let scan =
+    Obs.Metrics.timed metrics ~trace "scan-insert" (fun () ->
+        Scan.insert ~chains:cfg.Config.chains c)
+  in
+  let model =
+    Obs.Metrics.timed metrics ~trace "model-build" (fun () ->
+        Model.build scan.Scan.circuit)
+  in
   let sk = Atpg.Scan_knowledge.create scan in
-  let flow = Flow.generate cfg sk model in
+  let flow =
+    Obs.Metrics.timed metrics ~trace "generate" (fun () ->
+        Flow.generate ~metrics cfg sk model)
+  in
   let seq = flow.Flow.sequence in
   let targets = flow.Flow.targets in
-  let restored, omitted = compact cfg model seq targets in
+  let restored, omitted, omit_stats =
+    compact cfg model seq targets ~metrics ~trace ~rstats
+  in
   (* Extra detections: previously-undetected targeted faults that the
      compacted sequence happens to catch. *)
   let ext_det =
-    if Array.length flow.Flow.undetected = 0 then 0
-    else begin
-      let times =
-        Faultsim.detection_times ~jobs:cfg.Config.sim_jobs model
-          ~fault_ids:flow.Flow.undetected omitted
-      in
-      Array.fold_left (fun acc t -> if t >= 0 then acc + 1 else acc) 0 times
-    end
+    Obs.Metrics.timed metrics ~trace "extra-detect" (fun () ->
+        if Array.length flow.Flow.undetected = 0 then 0
+        else begin
+          let times =
+            Faultsim.detection_times ~jobs:cfg.Config.sim_jobs model
+              ~fault_ids:flow.Flow.undetected omitted
+          in
+          Array.fold_left (fun acc t -> if t >= 0 then acc + 1 else acc) 0 times
+        end)
   in
   (* Baseline ([26]-style): generation + test dropping. *)
-  let base = Baseline.Gen26.generate scan model cfg.Config.atpg in
-  let base_tests =
-    Baseline.Compact26.run scan model ~fault_ids:base.Baseline.Gen26.detected
-      base.Baseline.Gen26.tests
+  let base_tests, baseline_cycles, base =
+    Obs.Metrics.timed metrics ~trace "baseline" (fun () ->
+        let base = Baseline.Gen26.generate scan model cfg.Config.atpg in
+        let base_tests =
+          Baseline.Compact26.run scan model
+            ~fault_ids:base.Baseline.Gen26.detected base.Baseline.Gen26.tests
+        in
+        base_tests, Baseline.Gen26.cycles scan base_tests, base)
   in
-  let baseline_cycles = Baseline.Gen26.cycles scan base_tests in
   let row5 =
     {
       name;
@@ -131,13 +173,21 @@ let run ?(scale = Circuits.Profiles.Quick) ?config name =
   let row7 =
     if base_tests = [] then None
     else begin
-      let rng = Prng.Rng.of_string cfg.Config.seed (name ^ "/translate") in
-      let t7 = Translation.Translate.run scan ~tests:base_tests ~rng in
-      let targets7 =
-        Compaction.Target.compute ~jobs:cfg.Config.sim_jobs model t7
-          ~fault_ids:base.Baseline.Gen26.detected
+      let t7, targets7 =
+        Obs.Metrics.timed metrics ~trace "translate" (fun () ->
+            let rng = Prng.Rng.of_string cfg.Config.seed (name ^ "/translate") in
+            let t7 = Translation.Translate.run scan ~tests:base_tests ~rng in
+            let targets7 =
+              Compaction.Target.compute ~jobs:cfg.Config.sim_jobs model t7
+                ~fault_ids:base.Baseline.Gen26.detected
+            in
+            t7, targets7)
       in
-      let restored7, omitted7 = compact cfg model t7 targets7 in
+      (* Row 7's compaction accumulates into the same restore/omit phases
+         and counters as row 6's. *)
+      let restored7, omitted7, _ =
+        compact cfg model t7 targets7 ~metrics ~trace ~rstats
+      in
       Some
         {
           name;
@@ -148,4 +198,12 @@ let run ?(scale = Circuits.Profiles.Quick) ?config name =
         }
     end
   in
-  { circuit = name; row5; row6; row7; flow; runtime_s = Sys.time () -. t0 }
+  let cnt = Obs.Metrics.counters metrics in
+  Obs.Counters.add cnt "restore.vectors_restored"
+    rstats.Compaction.Restoration.restored;
+  Obs.Counters.add cnt "restore.probes" rstats.Compaction.Restoration.probes;
+  Obs.Counters.add cnt "restore.batch_sims"
+    rstats.Compaction.Restoration.batch_sims;
+  { circuit = name; row5; row6; row7; flow;
+    runtime_s = Obs.Clock.to_s (Obs.Clock.elapsed_ns t0);
+    metrics; omit_stats }

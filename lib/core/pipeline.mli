@@ -45,13 +45,28 @@ type result = {
   row6 : table6_row;
   row7 : table7_row option;  (** [None] when the baseline detected nothing *)
   flow : Flow.stats;
-  runtime_s : float;
+  runtime_s : float;  (** monotonic wall-clock seconds *)
+  metrics : Obs.Metrics.t;
+  (** per-phase wall-clock seconds ([scan-insert], [model-build],
+      [generate], [restore], [omit], [extra-detect], [baseline],
+      [translate]) plus the [atpg.*] / [sim.*] / [restore.*] / [omit.*]
+      counters; every counter is independent of [Config.sim_jobs] *)
+  omit_stats : Compaction.Omission.stats;
+  (** the main flow's (row-6) omission trial statistics *)
 }
 
-(** [run ?scale ?config name] executes the full pipeline on a catalog
-    circuit.  [config] defaults to {!Config.for_circuit}. *)
+(** [run ?scale ?config ?metrics ?trace name] executes the full pipeline on
+    a catalog circuit.  [config] defaults to {!Config.for_circuit};
+    [metrics] defaults to a fresh document (either way it is returned in
+    the result); [trace] (default: the null sink) receives one span per
+    phase. *)
 val run :
-  ?scale:Circuits.Profiles.scale -> ?config:Config.t -> string -> result
+  ?scale:Circuits.Profiles.scale ->
+  ?config:Config.t ->
+  ?metrics:Obs.Metrics.t ->
+  ?trace:Obs.Trace.t ->
+  string ->
+  result
 
 (** [scan_count scan seq] counts the [scan_sel = 1] vectors of a sequence. *)
 val scan_count : Scanins.Scan.t -> Logicsim.Vectors.t -> int

@@ -28,6 +28,26 @@ type engine =
   | Dense
   | Event
 
+(* Session telemetry.  Every field except [toggles]/[wsa] is defined purely
+   in terms of per-block work (see the repack-block scheme below), so the
+   totals are identical at any [jobs] setting; the activity pair is counted
+   by the session domain's good machine only, which makes it deterministic
+   as well. *)
+type stats = {
+  mutable frames : int;
+  mutable gframes : int;
+  mutable events : int;
+  mutable wakeups : int;
+  mutable kills : int;
+  mutable repacks : int;
+  mutable toggles : int;
+  mutable wsa : int;
+}
+
+let make_stats () =
+  { frames = 0; gframes = 0; events = 0; wakeups = 0; kills = 0; repacks = 0;
+    toggles = 0; wsa = 0 }
+
 type group = {
   ids : int array;  (* slot -> fault id *)
   mutable active : int;  (* bitmask of undetected machines *)
@@ -64,6 +84,15 @@ type scratch = {
   qlen : int array;
   touched : int array;  (* nodes stamped this epoch, for the latch walk *)
   mutable ntouched : int;
+  (* Telemetry staging: zeroed when a worker starts, flushed into the
+     session's [stats] after the (possibly cross-domain) merge.  Plain
+     mutable ints on worker-private state keep the hot path free of any
+     shared-memory traffic. *)
+  mutable s_gframes : int;
+  mutable s_events : int;
+  mutable s_wakeups : int;
+  mutable s_kills : int;
+  mutable s_repacks : int;
 }
 
 type t = {
@@ -92,6 +121,11 @@ type t = {
   mutable detected : int;
   mutable time : int;
   scratch : scratch;  (* the calling domain's worker state *)
+  stats : stats;
+  observe : bool;  (* count good-machine toggle / WSA activity *)
+  prev_good : Logic.t array;  (* last frame's good values ([||] unless observing) *)
+  fanout_count : int array;  (* node -> fanout count ([||] unless observing) *)
+  frame_toggles : Obs.Hist.t;  (* per-frame toggle counts (observe mode) *)
 }
 
 let make_scratch model =
@@ -111,7 +145,29 @@ let make_scratch model =
     qlen = Array.make (lv.Levelize.depth + 1) 0;
     touched = Array.make n 0;
     ntouched = 0;
+    s_gframes = 0;
+    s_events = 0;
+    s_wakeups = 0;
+    s_kills = 0;
+    s_repacks = 0;
   }
+
+let reset_sstats sc =
+  sc.s_gframes <- 0;
+  sc.s_events <- 0;
+  sc.s_wakeups <- 0;
+  sc.s_kills <- 0;
+  sc.s_repacks <- 0
+
+let flush_sstats stats (gframes, events, wakeups, kills, repacks) =
+  stats.gframes <- stats.gframes + gframes;
+  stats.events <- stats.events + events;
+  stats.wakeups <- stats.wakeups + wakeups;
+  stats.kills <- stats.kills + kills;
+  stats.repacks <- stats.repacks + repacks
+
+let read_sstats sc =
+  (sc.s_gframes, sc.s_events, sc.s_wakeups, sc.s_kills, sc.s_repacks)
 
 (* Injection tables of one word of faults: per distinct site, the
    stuck-at-1/0 machine masks, plus the dff slots among the sites. *)
@@ -144,8 +200,8 @@ let build_injections model dff_index ids =
   in
   inj_nodes, inj1, inj0, inj_dff
 
-let create ?good_state ?faulty_states ?(engine = Event) ?(jobs = 1) model
-    ~fault_ids =
+let create ?good_state ?faulty_states ?(engine = Event) ?(jobs = 1)
+    ?(observe = false) model ~fault_ids =
   let c = model.Model.circuit in
   let dffs = Circuit.dffs c in
   let nff = Array.length dffs in
@@ -254,9 +310,39 @@ let create ?good_state ?faulty_states ?(engine = Event) ?(jobs = 1) model
     detected = 0;
     time = 0;
     scratch = make_scratch model;
+    stats = make_stats ();
+    observe;
+    prev_good = (if observe then Array.make n Logic.X else [||]);
+    fanout_count =
+      (if observe then
+         Array.init n (fun nd -> Array.length (Circuit.fanout c nd))
+       else [||]);
+    frame_toggles = Obs.Hist.create ();
   }
 
 let time t = t.time
+
+(* Toggle / weighted-switching activity of the good machine, counted right
+   after its step.  Only the session domain calls this (spawned workers
+   merely replay the good trace), so plain mutation of [t.stats] is safe
+   and the totals never depend on [jobs].  A toggle is a binary-to-opposite
+   transition; X transitions carry no defined switching energy.  The WSA
+   weight [1 + fanouts] is the usual gate-plus-fanout capacitance proxy. *)
+let count_activity t gsim =
+  let prev = t.prev_good in
+  let toggles = ref 0 and wsa = ref 0 in
+  for nd = 0 to Array.length prev - 1 do
+    let v = Goodsim.value gsim nd in
+    (match prev.(nd), v with
+     | Logic.Zero, Logic.One | Logic.One, Logic.Zero ->
+       incr toggles;
+       wsa := !wsa + 1 + t.fanout_count.(nd)
+     | _ -> ());
+    prev.(nd) <- v
+  done;
+  t.stats.toggles <- t.stats.toggles + !toggles;
+  t.stats.wsa <- t.stats.wsa + !wsa;
+  Obs.Hist.observe t.frame_toggles !toggles
 
 (* ------------------------------------------------------- dense reference *)
 
@@ -340,6 +426,7 @@ let eval_gate t sc nd =
    output values.  Returns nothing; detections update session state. *)
 let sim_frame_dense t g vec good_po =
   let sc = t.scratch in
+  sc.s_gframes <- sc.s_gframes + 1;
   (* Sources. *)
   Array.iteri
     (fun i id ->
@@ -378,6 +465,7 @@ let sim_frame_dense t g vec good_po =
     t.outputs;
   let det = !det land g.active in
   if det <> 0 then begin
+    sc.s_kills <- sc.s_kills + popcount det;
     Array.iteri
       (fun slot fid ->
         if det land (1 lsl slot) <> 0 then begin
@@ -397,9 +485,11 @@ let sim_frame_dense t g vec good_po =
 let advance_dense t view =
   let nframes = View.length view in
   let sc = t.scratch in
+  reset_sstats sc;
   let good_pos =
     Array.init nframes (fun i ->
         Goodsim.step t.good (View.get view i);
+        if t.observe then count_activity t t.good;
         Goodsim.po_values t.good)
   in
   let t0 = t.time in
@@ -425,6 +515,7 @@ let advance_dense t view =
           g.inj_nodes
       end)
     t.groups;
+  flush_sstats t.stats (read_sstats sc);
   t.time <- t0 + nframes
 
 (* -------------------------------------------------- event-driven engine *)
@@ -532,6 +623,8 @@ let eval_event t sc nd =
 let sim_frame_event t sc g time detections =
   sc.epoch <- sc.epoch + 1;
   sc.ntouched <- 0;
+  sc.s_gframes <- sc.s_gframes + 1;
+  sc.s_wakeups <- sc.s_wakeups + g.ndirty;
   let epoch = sc.epoch in
   (* Detected machines are dead weight: masking their bits out of every
      seed (their state snaps to the good value, their injections stop
@@ -609,6 +702,7 @@ let sim_frame_event t sc g time detections =
   for lvl = 1 to t.depth do
     let q = sc.queue.(lvl) in
     let len = sc.qlen.(lvl) in
+    sc.s_events <- sc.s_events + len;
     for j = 0 to len - 1 do
       eval_event t sc q.(j)
     done;
@@ -625,6 +719,7 @@ let sim_frame_event t sc g time detections =
   done;
   let det = !det land g.active in
   if det <> 0 then begin
+    sc.s_kills <- sc.s_kills + popcount det;
     Array.iteri
       (fun slot fid ->
         if det land (1 lsl slot) <> 0 then begin
@@ -732,24 +827,41 @@ let repack t sc groups =
         fzero; fone; inj_nodes; inj1; inj0;
         dirty; ndirty = !ndirty; dmark; inj_dff })
 
-(* Run [groups] over the whole view with worker-owned state.  [gsim] is the
+(* Scheduling unit for workers and repacking alike: a fixed run of up to
+   [repack_block] consecutive groups.  Blocks — not individual groups — are
+   dealt round-robin across domains, and a block only ever repacks within
+   itself, at a trigger computed from its own machine counts.  Because the
+   partition into blocks depends only on the pre-advance group order (never
+   on [jobs]), each block evolves identically no matter which worker owns
+   it, which is what makes every telemetry counter (and the repack schedule
+   itself) bit-identical across job counts. *)
+let repack_block = 8
+
+type block = {
+  bid : int;  (* canonical position for the post-merge reassembly *)
+  mutable bgroups : group array;
+  mutable bretired : group list;  (* reverse retirement order *)
+  mutable blive : int;  (* groups in [bgroups] with active machines *)
+  mutable bmachines : int;  (* live machines across the block *)
+}
+
+(* Run [blocks] over the whole view with worker-owned state.  [gsim] is the
    worker's good machine (the session's own for the calling domain, a
    replayed copy for spawned ones).  [step_all] keeps stepping the good
    machine after every group retired — required for the session machine,
-   whose final state is observable. *)
-let run_worker t sc gsim view t0 ~groups ~step_all =
+   whose final state is observable.  Blocks are mutated in place; the
+   caller reads them back after the domain join.  Returns the worker's
+   detection count and its staged telemetry counters. *)
+let run_worker t sc gsim view t0 ~blocks ~step_all =
   let nframes = View.length view in
   let n = Array.length sc.gw0 in
+  reset_sstats sc;
   let detections = ref 0 in
-  let groups = ref groups in
-  let retired = ref [] in
-  let live = ref (Array.length !groups) in
-  let machines =
-    ref (Array.fold_left (fun a g -> a + popcount g.active) 0 !groups)
-  in
+  let live = ref (Array.fold_left (fun a b -> a + b.blive) 0 blocks) in
   let fi = ref 0 in
   while !fi < nframes && (!live > 0 || step_all) do
     Goodsim.step gsim (View.get view !fi);
+    if step_all && t.observe then count_activity t gsim;
     if !live > 0 then begin
       for nd = 0 to n - 1 do
         match Goodsim.value gsim nd with
@@ -763,29 +875,42 @@ let run_worker t sc gsim view t0 ~groups ~step_all =
           sc.gw0.(nd) <- 0;
           sc.gw1.(nd) <- 0
       done;
-      let before = !detections in
       Array.iter
-        (fun g ->
-          if g.active <> 0 then begin
-            sim_frame_event t sc g (t0 + !fi) detections;
-            if g.active = 0 then decr live
+        (fun b ->
+          if b.blive > 0 then begin
+            let before = !detections in
+            Array.iter
+              (fun g ->
+                if g.active <> 0 then begin
+                  sim_frame_event t sc g (t0 + !fi) detections;
+                  if g.active = 0 then begin
+                    b.blive <- b.blive - 1;
+                    decr live
+                  end
+                end)
+              b.bgroups;
+            b.bmachines <- b.bmachines - (!detections - before);
+            (* Fault dropping hollows the words out; once half the block's
+               live groups could be saved, repack its survivors into fresh
+               full words. *)
+            let needed = (b.bmachines + width - 1) / width in
+            if b.blive > 1 && 2 * needed <= b.blive && !fi < nframes - 1
+            then begin
+              Array.iter
+                (fun g -> if g.active = 0 then b.bretired <- g :: b.bretired)
+                b.bgroups;
+              let packed = repack t sc b.bgroups in
+              sc.s_repacks <- sc.s_repacks + 1;
+              live := !live - b.blive + Array.length packed;
+              b.blive <- Array.length packed;
+              b.bgroups <- packed
+            end
           end)
-        !groups;
-      machines := !machines - (!detections - before);
-      (* Fault dropping hollows the words out; once half the live groups
-         could be saved, repack the survivors into fresh full words. *)
-      let needed = (!machines + width - 1) / width in
-      if !live > 1 && 2 * needed <= !live && !fi < nframes - 1 then begin
-        Array.iter
-          (fun g -> if g.active = 0 then retired := g :: !retired)
-          !groups;
-        groups := repack t sc !groups;
-        live := Array.length !groups
-      end
+        blocks;
     end;
     incr fi
   done;
-  !detections, Array.append !groups (Array.of_list (List.rev !retired))
+  !detections, read_sstats sc
 
 let advance_event t view =
   let nframes = View.length view in
@@ -797,47 +922,74 @@ let advance_event t view =
     Array.of_list
       (List.filter (fun g -> g.active <> 0) (Array.to_list t.groups))
   in
-  let jobs = min t.jobs (Array.length active) in
-  if jobs <= 1 then begin
-    let d, gs =
-      run_worker t t.scratch t.good view t0 ~groups:active ~step_all:true
-    in
-    t.detected <- t.detected + d;
-    t.groups <- Array.append gs pre_retired
-  end
-  else begin
-    (* Groups are independent given the good trace: deal them round-robin
-       across domains.  Each spawned worker replays the good machine from
-       the pre-advance state with its own scratch; detection times and group
-       states land in disjoint slots, so the merged outcome is identical to
-       the sequential schedule regardless of interleaving. *)
-    let init_state = Goodsim.state t.good in
-    let share w =
-      let acc = ref [] in
-      Array.iteri (fun i g -> if i mod jobs = w then acc := g :: !acc) active;
-      Array.of_list (List.rev !acc)
-    in
-    let spawned =
-      Array.init (jobs - 1) (fun k ->
-          let groups = share (k + 1) in
-          Domain.spawn (fun () ->
-              let sc = make_scratch t.model in
-              let gsim =
-                Goodsim.create ~levelize:t.model.Model.levelize
-                  t.model.Model.circuit
-              in
-              Goodsim.set_state gsim init_state;
-              run_worker t sc gsim view t0 ~groups ~step_all:false))
-    in
-    let d0, gs0 =
-      run_worker t t.scratch t.good view t0 ~groups:(share 0) ~step_all:true
-    in
-    let results = Array.map Domain.join spawned in
-    let d = Array.fold_left (fun acc (dm, _) -> acc + dm) d0 results in
-    t.detected <- t.detected + d;
-    t.groups <-
-      Array.concat (gs0 :: Array.to_list (Array.map snd results) @ [ pre_retired ])
-  end;
+  let nblocks = (Array.length active + repack_block - 1) / repack_block in
+  let blocks =
+    Array.init nblocks (fun bi ->
+        let lo = bi * repack_block in
+        let len = min repack_block (Array.length active - lo) in
+        let bgroups = Array.sub active lo len in
+        { bid = bi;
+          bgroups;
+          bretired = [];
+          blive = len;
+          bmachines =
+            Array.fold_left (fun a g -> a + popcount g.active) 0 bgroups })
+  in
+  let jobs = min t.jobs nblocks in
+  let worker_stats =
+    if jobs <= 1 then begin
+      let d, ws =
+        run_worker t t.scratch t.good view t0 ~blocks ~step_all:true
+      in
+      t.detected <- t.detected + d;
+      [ ws ]
+    end
+    else begin
+      (* Blocks are independent given the good trace: deal them round-robin
+         across domains.  Each spawned worker replays the good machine from
+         the pre-advance state with its own scratch; detection times and
+         group states land in disjoint slots, so the merged outcome is
+         identical to the sequential schedule regardless of
+         interleaving. *)
+      let init_state = Goodsim.state t.good in
+      let share w =
+        let acc = ref [] in
+        Array.iter (fun b -> if b.bid mod jobs = w then acc := b :: !acc) blocks;
+        Array.of_list (List.rev !acc)
+      in
+      let spawned =
+        Array.init (jobs - 1) (fun k ->
+            let blocks = share (k + 1) in
+            Domain.spawn (fun () ->
+                let sc = make_scratch t.model in
+                let gsim =
+                  Goodsim.create ~levelize:t.model.Model.levelize
+                    t.model.Model.circuit
+                in
+                Goodsim.set_state gsim init_state;
+                run_worker t sc gsim view t0 ~blocks ~step_all:false))
+      in
+      let d0, ws0 =
+        run_worker t t.scratch t.good view t0 ~blocks:(share 0) ~step_all:true
+      in
+      let results = Array.map Domain.join spawned in
+      let d = Array.fold_left (fun acc (dm, _) -> acc + dm) d0 results in
+      t.detected <- t.detected + d;
+      ws0 :: Array.to_list (Array.map snd results)
+    end
+  in
+  List.iter (flush_sstats t.stats) worker_stats;
+  (* Reassemble in canonical block order — the merged group array (hence
+     the next advance's block partition) is independent of which worker
+     owned which block. *)
+  t.groups <-
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun b ->
+              Array.append b.bgroups (Array.of_list (List.rev b.bretired)))
+            blocks)
+      @ [ pre_retired ]);
   (* Repacking may have rearranged faults across words, and faults that
      were detected out of a still-live group are no longer packed at all:
      refresh the fault -> (group, slot) maps, leaving the dropped (all
@@ -858,10 +1010,12 @@ let advance_event t view =
   t.time <- t0 + nframes
 
 let advance_view t view =
-  if View.length view > 0 then
+  if View.length view > 0 then begin
+    t.stats.frames <- t.stats.frames + View.length view;
     match t.engine with
     | Dense -> advance_dense t view
     | Event -> advance_event t view
+  end
 
 let advance t seq = advance_view t (View.of_seq seq)
 
@@ -876,6 +1030,10 @@ let detection_time t fid =
   if t.det_time.(fid) >= 0 then Some t.det_time.(fid) else None
 
 let detected_count t = t.detected
+
+let stats t = t.stats
+
+let frame_toggles t = t.frame_toggles
 
 let undetected t =
   let acc = ref [] in

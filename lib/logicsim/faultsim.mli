@@ -39,6 +39,27 @@ type engine =
   | Dense  (** evaluate every gate for every group and frame (oracle) *)
   | Event  (** event-driven difference propagation (default) *)
 
+(** Session telemetry, accumulated across {!advance} calls.  The simulation
+    kernel counters ([frames] consumed, [gframes] (group, frame) pairs
+    simulated, [events] gate evaluations in the event engine, [wakeups]
+    dirty flip-flops seeded, [kills] machines masked out on detection,
+    [repacks] group-repack operations) are defined per fixed repack block —
+    a jobs-independent partition of the group array — so their totals are
+    bit-identical at any [jobs] setting.  [toggles] and [wsa] (weighted
+    switching activity: each good-machine binary toggle weighted by
+    [1 + fanouts]) are only counted when the session was created with
+    [~observe:true], by the session domain's good machine. *)
+type stats = {
+  mutable frames : int;
+  mutable gframes : int;
+  mutable events : int;
+  mutable wakeups : int;
+  mutable kills : int;
+  mutable repacks : int;
+  mutable toggles : int;
+  mutable wsa : int;
+}
+
 (** [create model ~fault_ids] starts a session over the given target faults
     (indices into [model.faults]) at time 0.
 
@@ -47,12 +68,15 @@ type engine =
     state) gives a per-fault initial state, enabling sessions that continue
     from the middle of another simulation.  [engine] selects the kernel
     (default {!Event}); [jobs] (default 1) bounds the number of domains the
-    event engine may schedule fault groups across. *)
+    event engine may schedule fault groups across; [observe] (default
+    [false]) additionally counts good-machine toggle / switching activity
+    into {!stats} and {!frame_toggles}. *)
 val create :
   ?good_state:Netlist.Logic.t array ->
   ?faulty_states:(int -> Netlist.Logic.t array) ->
   ?engine:engine ->
   ?jobs:int ->
+  ?observe:bool ->
   Faultmodel.Model.t ->
   fault_ids:int array ->
   t
@@ -72,6 +96,13 @@ val advance_view : t -> Vectors.View.t -> unit
 val detection_time : t -> int -> int option
 
 val detected_count : t -> int
+
+(** The session's telemetry record (the live record, not a copy). *)
+val stats : t -> stats
+
+(** Per-frame good-machine toggle counts; only populated when the session
+    was created with [~observe:true]. *)
+val frame_toggles : t -> Obs.Hist.t
 
 (** Target faults still undetected, in target order. *)
 val undetected : t -> int array

@@ -1,0 +1,5 @@
+external now_ns : unit -> int = "scanatpg_obs_now_ns" [@@noalloc]
+
+let elapsed_ns t0 = now_ns () - t0
+
+let to_s ns = float_of_int ns *. 1e-9

@@ -1,0 +1,17 @@
+(** Monotonic wall-clock timers.
+
+    All timing reported by the pipeline, the CLI and the bench harness goes
+    through this module.  The clock is [CLOCK_MONOTONIC]: it measures wall
+    time (so domain-parallel phases are not double-counted the way
+    [Sys.time]'s process CPU time is) and never jumps backwards (so span
+    durations are always non-negative). *)
+
+(** Nanoseconds from an arbitrary fixed origin.  Only differences are
+    meaningful. *)
+val now_ns : unit -> int
+
+(** [elapsed_ns t0] is [now_ns () - t0]. *)
+val elapsed_ns : int -> int
+
+(** Nanoseconds to seconds. *)
+val to_s : int -> float

@@ -1,0 +1,19 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let add t name n =
+  match Hashtbl.find_opt t name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t name (ref n)
+
+let get t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> !r
+  | None -> 0
+
+let merge_into ~src ~dst = Hashtbl.iter (fun name r -> add dst name !r) src
+
+let to_alist t =
+  let acc = Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t [] in
+  List.sort compare acc

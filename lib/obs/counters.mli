@@ -1,0 +1,26 @@
+(** Named integer counters.
+
+    A counter set is the non-hot-path half of the telemetry story: hot
+    kernels (fault simulation, PODEM) count into plain mutable record
+    fields owned by one domain, and those records are folded into a
+    counter set once per phase.  Counter values are therefore exact sums
+    of per-worker contributions — addition is associative and commutative,
+    and the engine schedules work identically at any job count (see
+    DESIGN.md §7), so a merged counter set is bit-identical for
+    [sim_jobs = 1] and [sim_jobs = N]. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t name n] adds [n] to counter [name] (created at 0). *)
+val add : t -> string -> int -> unit
+
+(** [get t name] is the current value ([0] when never added). *)
+val get : t -> string -> int
+
+(** [merge_into ~src ~dst] adds every counter of [src] into [dst]. *)
+val merge_into : src:t -> dst:t -> unit
+
+(** All counters sorted by name — the deterministic serialization order. *)
+val to_alist : t -> (string * int) list

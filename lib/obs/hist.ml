@@ -1,0 +1,46 @@
+let nbuckets = 63
+
+type t = {
+  mutable count : int;
+  mutable sum : int;
+  counts : int array;
+}
+
+let create () = { count = 0; sum = 0; counts = Array.make nbuckets 0 }
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 and v = ref v in
+    while !v > 0 do
+      incr i;
+      v := !v lsr 1
+    done;
+    min !i (nbuckets - 1)
+  end
+
+let observe t v =
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  let b = bucket_of v in
+  t.counts.(b) <- t.counts.(b) + 1
+
+let count t = t.count
+let sum t = t.sum
+
+let buckets t =
+  let acc = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if t.counts.(i) <> 0 then begin
+      let upper = if i = 0 then 0 else (1 lsl i) - 1 in
+      acc := (upper, t.counts.(i)) :: !acc
+    end
+  done;
+  !acc
+
+let merge_into ~src ~dst =
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum + src.sum;
+  Array.iteri (fun i n -> dst.counts.(i) <- dst.counts.(i) + n) src.counts
+
+let copy t = { count = t.count; sum = t.sum; counts = Array.copy t.counts }

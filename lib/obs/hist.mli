@@ -1,0 +1,25 @@
+(** Power-of-two-bucket histograms of non-negative integers.
+
+    Bucket [0] counts observations [<= 0]; bucket [i >= 1] counts
+    observations in [[2^(i-1), 2^i - 1]].  Bucket boundaries are fixed, so
+    merging histograms (bucket-wise addition) is deterministic and
+    order-independent — the same guarantee the counter sets give. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+
+(** Number of observations. *)
+val count : t -> int
+
+(** Sum of all observed values. *)
+val sum : t -> int
+
+(** Non-empty buckets as [(inclusive upper bound, count)], ascending. *)
+val buckets : t -> (int * int) list
+
+val merge_into : src:t -> dst:t -> unit
+
+val copy : t -> t

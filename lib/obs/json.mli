@@ -1,0 +1,14 @@
+(** Minimal JSON writing helpers shared by the trace and metrics emitters.
+
+    The repo deliberately carries no JSON dependency; every document we
+    emit is assembled from these primitives. *)
+
+(** Escape a string's contents for inclusion inside JSON quotes. *)
+val escape : string -> string
+
+(** [quote s] is [s] escaped and wrapped in double quotes. *)
+val quote : string -> string
+
+(** Render a float as a JSON number ([nan]/[inf] map to [0], which JSON
+    cannot represent). *)
+val float : float -> string

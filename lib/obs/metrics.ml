@@ -1,0 +1,83 @@
+let schema = "scanatpg-metrics/1"
+
+type t = {
+  counters : Counters.t;
+  mutable phases : (string * float) list;  (* first-seen order, reversed *)
+  mutable hists : (string * Hist.t) list;  (* first-seen order, reversed *)
+}
+
+let create () = { counters = Counters.create (); phases = []; hists = [] }
+
+let counters t = t.counters
+
+let add_phase t name s =
+  let rec bump = function
+    | [] -> None
+    | (n, acc) :: rest when n = name -> Some ((n, acc +. s) :: rest)
+    | p :: rest -> Option.map (fun r -> p :: r) (bump rest)
+  in
+  match bump t.phases with
+  | Some ps -> t.phases <- ps
+  | None -> t.phases <- (name, s) :: t.phases
+
+let phases t = List.rev t.phases
+
+let add_hist t name h =
+  match List.assoc_opt name t.hists with
+  | Some dst -> Hist.merge_into ~src:h ~dst
+  | None -> t.hists <- (name, Hist.copy h) :: t.hists
+
+let hists t = List.rev t.hists
+
+let merge_into ~src ~dst =
+  Counters.merge_into ~src:src.counters ~dst:dst.counters;
+  List.iter (fun (name, s) -> add_phase dst name s) (phases src);
+  List.iter (fun (name, h) -> add_hist dst name h) (hists src)
+
+let timed t ?(trace = Trace.null) name f =
+  Trace.with_span trace name (fun () ->
+      let t0 = Clock.now_ns () in
+      let r = f () in
+      add_phase t name (Clock.to_s (Clock.elapsed_ns t0));
+      r)
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "{\n  \"schema\": %s,\n" (Json.quote schema));
+  Buffer.add_string b "  \"phases\": {";
+  List.iteri
+    (fun i (name, s) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b
+        (Printf.sprintf "\n    %s: %s" (Json.quote name) (Json.float s)))
+    (phases t);
+  Buffer.add_string b "\n  },\n";
+  Buffer.add_string b "  \"counters\": {";
+  List.iteri
+    (fun i (name, n) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b (Printf.sprintf "\n    %s: %d" (Json.quote name) n))
+    (Counters.to_alist t.counters);
+  Buffer.add_string b "\n  },\n";
+  Buffer.add_string b "  \"histograms\": {";
+  List.iteri
+    (fun i (name, h) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b
+        (Printf.sprintf "\n    %s: {\"count\": %d, \"sum\": %d, \"buckets\": ["
+           (Json.quote name) (Hist.count h) (Hist.sum h));
+      List.iteri
+        (fun j (upper, n) ->
+          if j > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b (Printf.sprintf "[%d, %d]" upper n))
+        (Hist.buckets h);
+      Buffer.add_string b "]}")
+    (hists t);
+  Buffer.add_string b "\n  }\n}\n";
+  Buffer.contents b
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json t))

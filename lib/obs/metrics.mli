@@ -1,0 +1,37 @@
+(** A metrics document: named counters, per-phase accumulated wall-clock
+    seconds, and histograms, serialisable as versioned JSON
+    (["scanatpg-metrics/1"]).
+
+    Phases keep first-seen order so the JSON reads in pipeline order;
+    repeated {!add_phase} calls with the same name accumulate, which is
+    what lets row 7's second compaction pass fold into the same
+    [restore]/[omit] phases as row 6's. *)
+
+type t
+
+val create : unit -> t
+
+val counters : t -> Counters.t
+
+(** [add_phase t name seconds] accumulates [seconds] into phase [name]. *)
+val add_phase : t -> string -> float -> unit
+
+(** Phases in first-seen order, with accumulated seconds. *)
+val phases : t -> (string * float) list
+
+(** [add_hist t name h] merges [h] into the histogram registered under
+    [name] (registering a copy if absent). *)
+val add_hist : t -> string -> Hist.t -> unit
+
+val hists : t -> (string * Hist.t) list
+
+(** Bucket-wise / name-wise addition; deterministic in any merge order. *)
+val merge_into : src:t -> dst:t -> unit
+
+(** [timed t ?trace name f] runs [f] inside a trace span named [name]
+    and accumulates its wall-clock duration into phase [name]. *)
+val timed : t -> ?trace:Trace.t -> string -> (unit -> 'a) -> 'a
+
+val to_json : t -> string
+
+val write_file : t -> string -> unit

@@ -1,0 +1,17 @@
+/* Monotonic wall clock for Obs.Clock.
+ *
+ * CLOCK_MONOTONIC never jumps backwards and, unlike Sys.time, measures
+ * wall time rather than per-process CPU time — CPU time double-counts
+ * under multiple OCaml domains.  The value is returned as a tagged OCaml
+ * int (no allocation): 62 bits of nanoseconds overflow after ~146 years
+ * of uptime, which is enough for span arithmetic.
+ */
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value scanatpg_obs_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

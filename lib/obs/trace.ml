@@ -1,0 +1,78 @@
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  start_ns : int;
+  stop_ns : int;
+  attrs : (string * string) list;
+}
+
+type t = {
+  live : bool;
+  mutable next_id : int;
+  mutable stack : int list;  (* open span ids, innermost first *)
+  mutable closed : span list;  (* completion order, reversed *)
+}
+
+let null = { live = false; next_id = 1; stack = []; closed = [] }
+
+let create () = { live = true; next_id = 1; stack = []; closed = [] }
+
+let enabled t = t.live
+
+let with_span t ?(attrs = []) name f =
+  if not t.live then f ()
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let parent =
+      match t.stack with
+      | [] -> 0
+      | p :: _ -> p
+    in
+    t.stack <- id :: t.stack;
+    let start_ns = Clock.now_ns () in
+    let close () =
+      let stop_ns = Clock.now_ns () in
+      (match t.stack with
+       | s :: rest when s = id -> t.stack <- rest
+       | _ -> ());
+      t.closed <- { id; parent; name; start_ns; stop_ns; attrs } :: t.closed
+    in
+    match f () with
+    | r ->
+      close ();
+      r
+    | exception e ->
+      close ();
+      raise e
+  end
+
+let spans t = List.rev t.closed
+
+let span_to_json s =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\": %s, \"start_ns\": %d, \"stop_ns\": %d, \
+                     \"id\": %d, \"parent\": %d, \"attrs\": {"
+       (Json.quote s.name) s.start_ns s.stop_ns s.id s.parent);
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Json.quote k);
+      Buffer.add_string b ": ";
+      Buffer.add_string b (Json.quote v))
+    s.attrs;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let write_jsonl t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun s ->
+          output_string oc (span_to_json s);
+          output_char oc '\n')
+        (spans t))

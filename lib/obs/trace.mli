@@ -1,0 +1,41 @@
+(** Spans: named, nested wall-clock intervals.
+
+    A tracer is either the shared {!null} sink or a live collector.  The
+    null sink is the default everywhere: {!with_span} on it is a single
+    flag test before calling the thunk, so instrumented code paths cost
+    one predictable branch when tracing is off (verified by the
+    [obs: null-sink span] bench kernel).
+
+    Tracers are single-domain: spans are opened and closed on the
+    orchestrating thread only; simulation workers never touch them (their
+    telemetry flows through per-worker counter records instead). *)
+
+type span = {
+  id : int;  (** 1-based, in opening order *)
+  parent : int;  (** enclosing span id, [0] at top level *)
+  name : string;
+  start_ns : int;  (** {!Clock.now_ns} at open *)
+  stop_ns : int;  (** {!Clock.now_ns} at close *)
+  attrs : (string * string) list;
+}
+
+type t
+
+(** The no-op sink: spans evaporate, [with_span t name f] is [f ()]. *)
+val null : t
+
+(** A live collector. *)
+val create : unit -> t
+
+val enabled : t -> bool
+
+(** [with_span t name f] runs [f] inside a span.  The span closes (and is
+    recorded) even when [f] raises. *)
+val with_span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Completed spans, in completion order (children before parents). *)
+val spans : t -> span list
+
+(** One JSON object per line: [name], [start_ns], [stop_ns], [id],
+    [parent], [attrs]. *)
+val write_jsonl : t -> string -> unit

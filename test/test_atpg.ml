@@ -152,7 +152,7 @@ let test_seq_atpg_detect_coverage () =
   let cfg = Seq_atpg.default_config in
   let hits = ref 0 in
   for fid = 0 to Model.fault_count m - 1 do
-    match Seq_atpg.detect m cfg ~fault:fid ~good:(allx m) ~faulty:(allx m) with
+    match Seq_atpg.detect m cfg ~fault:fid ~good:(allx m) ~faulty:(allx m) () with
     | Some vecs ->
       incr hits;
       Alcotest.(check bool) "verified" true
@@ -165,8 +165,8 @@ let test_seq_atpg_latch_subsumes () =
   let _, m = setup "s27" in
   let cfg = Seq_atpg.default_config in
   for fid = 0 to Model.fault_count m - 1 do
-    let direct = Seq_atpg.detect m cfg ~fault:fid ~good:(allx m) ~faulty:(allx m) in
-    let latch = Seq_atpg.detect_latch m cfg ~fault:fid ~good:(allx m) ~faulty:(allx m) in
+    let direct = Seq_atpg.detect m cfg ~fault:fid ~good:(allx m) ~faulty:(allx m) () in
+    let latch = Seq_atpg.detect_latch m cfg ~fault:fid ~good:(allx m) ~faulty:(allx m) () in
     if direct <> None && latch = None then
       Alcotest.failf "latch mode lost %s" (Model.fault_name m fid)
   done
@@ -198,7 +198,7 @@ let test_drain_detects_latched_effect () =
   let exercised = ref 0 and ok = ref 0 in
   for fid = 0 to Model.fault_count m - 1 do
     if !exercised < 25 then begin
-      match Seq_atpg.detect_latch m cfg ~fault:fid ~good:(allx m) ~faulty:(allx m) with
+      match Seq_atpg.detect_latch m cfg ~fault:fid ~good:(allx m) ~faulty:(allx m) () with
       | Some (`Latched (vecs, dff)) ->
         incr exercised;
         let full = Array.append (Vectors.fill_x rng vecs) (Sk.drain sk ~rng ~dff) in
@@ -356,7 +356,7 @@ let prop_seq_atpg_from_random_states =
         (fun fid ->
           match
             Seq_atpg.detect m Seq_atpg.default_config ~fault:fid ~good
-              ~faulty:(Faultsim.faulty_state s fid)
+              ~faulty:(Faultsim.faulty_state s fid) ()
           with
           | Some vecs ->
             Faultsim.detects_single m ~fault:fid

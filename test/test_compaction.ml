@@ -82,7 +82,7 @@ let test_restoration_empty_targets () =
 
 let test_omission_preserves_targets () =
   let m, seq, targets = random_setup 6 200 in
-  let compacted, targets' =
+  let compacted, targets', _ =
     Compaction.Omission.run m seq targets Compaction.Omission.default_config
   in
   Alcotest.(check bool) "no longer" true
@@ -102,7 +102,7 @@ let test_omission_after_restoration () =
   let m, seq, targets = random_setup 7 250 in
   let restored = Compaction.Restoration.run m seq targets in
   let targets_r = Target.compute m restored ~fault_ids:targets.Target.fault_ids in
-  let compacted, _ =
+  let compacted, _, _ =
     Compaction.Omission.run m restored targets_r Compaction.Omission.default_config
   in
   Alcotest.(check bool) "pipeline monotone" true
@@ -112,7 +112,7 @@ let test_omission_after_restoration () =
 let test_omission_trial_budget () =
   let m, seq, targets = random_setup 8 200 in
   let cfg = { Compaction.Omission.default_config with max_trials = Some 10 } in
-  let compacted, _ = Compaction.Omission.run m seq targets cfg in
+  let compacted, _, _ = Compaction.Omission.run m seq targets cfg in
   (* Ten trials at a maximum chunk of 16 vectors each bound the removal. *)
   Alcotest.(check bool) "bounded removal" true
     (Array.length seq - Array.length compacted <= 10 * 16);
@@ -121,8 +121,8 @@ let test_omission_trial_budget () =
 let test_omission_single_pass () =
   let m, seq, targets = random_setup 9 150 in
   let cfg = { Compaction.Omission.default_config with max_passes = 1 } in
-  let one, _ = Compaction.Omission.run m seq targets cfg in
-  let full, _ = Compaction.Omission.run m seq targets Compaction.Omission.default_config in
+  let one, _, _ = Compaction.Omission.run m seq targets cfg in
+  let full, _, _ = Compaction.Omission.run m seq targets Compaction.Omission.default_config in
   Alcotest.(check bool) "more passes never longer" true
     (Array.length full <= Array.length one)
 
@@ -135,7 +135,7 @@ let prop_compaction_preserves_coverage =
       let tr = Target.compute m restored ~fault_ids:targets.Target.fault_ids in
       Target.count tr = Target.count targets
       &&
-      let compacted, _ =
+      let compacted, _, _ =
         Compaction.Omission.run m restored tr Compaction.Omission.default_config
       in
       Target.detected_by m compacted targets

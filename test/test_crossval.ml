@@ -238,6 +238,76 @@ let prop_flow_targets_hold =
           = Some dt)
         t.Compaction.Target.fault_ids t.Compaction.Target.det_times)
 
+let prop_telemetry_invisible =
+  (* Turning every telemetry knob on — metrics document, live tracer,
+     activity observation — must not change what the flow and the
+     compaction procedures compute. *)
+  QCheck2.Test.make ~name:"telemetry on vs off gives identical results"
+    ~count:4
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let c = gen_circuit seed in
+      let scan = Scanins.Scan.insert c in
+      let m = Model.build scan.Scanins.Scan.circuit in
+      let sk = Atpg.Scan_knowledge.create scan in
+      let base =
+        { (Core.Config.for_circuit c) with
+          Core.Config.atpg =
+            { Atpg.Seq_atpg.depths = [ 1; 2; 4 ]; backtrack_limit = 60 } }
+      in
+      let run ~telemetry =
+        let cfg = { base with Core.Config.observe = telemetry } in
+        let flow =
+          if telemetry then
+            let metrics = Obs.Metrics.create () in
+            let trace = Obs.Trace.create () in
+            Obs.Metrics.timed metrics ~trace "generate" (fun () ->
+                Core.Flow.generate ~metrics cfg sk m)
+          else Core.Flow.generate cfg sk m
+        in
+        let restored =
+          Compaction.Restoration.run m flow.Core.Flow.sequence
+            flow.Core.Flow.targets
+        in
+        let t =
+          Compaction.Target.compute m restored
+            ~fault_ids:flow.Core.Flow.targets.Compaction.Target.fault_ids
+        in
+        let omitted, _, _ =
+          Compaction.Omission.run m restored t cfg.Core.Config.omission
+        in
+        flow.Core.Flow.sequence, restored, omitted
+      in
+      run ~telemetry:true = run ~telemetry:false)
+
+let prop_metrics_jobs_invariant =
+  (* The flow's merged telemetry — every counter and histogram — must be
+     bit-identical at any simulation job count, not just the results. *)
+  QCheck2.Test.make ~name:"flow metrics identical at sim_jobs 1 vs 3"
+    ~count:4
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let c = gen_circuit seed in
+      let scan = Scanins.Scan.insert c in
+      let m = Model.build scan.Scanins.Scan.circuit in
+      let sk = Atpg.Scan_knowledge.create scan in
+      let run jobs =
+        let cfg =
+          Core.Config.with_sim_jobs jobs
+            { (Core.Config.for_circuit c) with
+              Core.Config.observe = true;
+              atpg =
+                { Atpg.Seq_atpg.depths = [ 1; 2; 4 ]; backtrack_limit = 60 } }
+        in
+        let metrics = Obs.Metrics.create () in
+        ignore (Core.Flow.generate ~metrics cfg sk m);
+        ( Obs.Counters.to_alist (Obs.Metrics.counters metrics),
+          List.map
+            (fun (n, h) -> n, Obs.Hist.count h, Obs.Hist.sum h, Obs.Hist.buckets h)
+            (Obs.Metrics.hists metrics) )
+      in
+      run 1 = run 3)
+
 let prop_restoration_subset_random_circuits =
   QCheck2.Test.make ~name:"restoration preserves targets on random circuits"
     ~count:5
@@ -267,5 +337,7 @@ let () =
           q prop_jobs_deterministic ] );
       ( "faults", [ q prop_collapse_is_semantic ] );
       ( "flow", [ q prop_flow_targets_hold ] );
+      ( "telemetry",
+        [ q prop_telemetry_invisible; q prop_metrics_jobs_invariant ] );
       ( "compaction", [ q prop_restoration_subset_random_circuits ] );
     ]

@@ -68,7 +68,7 @@ let test_pipeline_compacted_sequence_valid () =
     Compaction.Target.compute model restored
       ~fault_ids:flow.Core.Flow.targets.Compaction.Target.fault_ids
   in
-  let compacted, _ =
+  let compacted, _, _ =
     Compaction.Omission.run model restored tr cfg.Core.Config.omission
   in
   Alcotest.(check bool) "coverage preserved" true

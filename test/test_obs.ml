@@ -1,0 +1,222 @@
+(* Unit tests for the obs telemetry library: clock monotonicity, counter
+   and histogram merge semantics, span nesting, and the metrics document's
+   JSON serialization. *)
+
+let test_clock_monotonic () =
+  let t0 = Obs.Clock.now_ns () in
+  let acc = ref 0 in
+  for i = 1 to 1000 do
+    acc := !acc + i
+  done;
+  ignore !acc;
+  let dt = Obs.Clock.elapsed_ns t0 in
+  Alcotest.(check bool) "elapsed non-negative" true (dt >= 0);
+  Alcotest.(check bool) "never jumps back" true
+    (Obs.Clock.now_ns () >= t0);
+  Alcotest.(check (float 1e-9)) "to_s" 1.5 (Obs.Clock.to_s 1_500_000_000)
+
+let test_counters () =
+  let c = Obs.Counters.create () in
+  Alcotest.(check int) "absent reads 0" 0 (Obs.Counters.get c "x");
+  Obs.Counters.add c "x" 3;
+  Obs.Counters.add c "x" 4;
+  Obs.Counters.add c "a" 1;
+  Alcotest.(check int) "accumulates" 7 (Obs.Counters.get c "x");
+  Alcotest.(check (list (pair string int)))
+    "to_alist sorted by name"
+    [ "a", 1; "x", 7 ]
+    (Obs.Counters.to_alist c)
+
+let test_counters_merge () =
+  let a = Obs.Counters.create () and b = Obs.Counters.create () in
+  Obs.Counters.add a "x" 2;
+  Obs.Counters.add b "x" 5;
+  Obs.Counters.add b "y" 1;
+  Obs.Counters.merge_into ~src:b ~dst:a;
+  Alcotest.(check (list (pair string int)))
+    "merge adds name-wise"
+    [ "x", 7; "y", 1 ]
+    (Obs.Counters.to_alist a);
+  (* src untouched *)
+  Alcotest.(check int) "src unchanged" 5 (Obs.Counters.get b "x")
+
+let test_hist_buckets () =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.observe h) [ 0; 1; 2; 3; 4; 100 ];
+  Alcotest.(check int) "count" 6 (Obs.Hist.count h);
+  Alcotest.(check int) "sum" 110 (Obs.Hist.sum h);
+  (* 0 -> bucket 0; 1 -> [1,1]; 2,3 -> [2,3]; 4 -> [4,7]; 100 -> [64,127] *)
+  Alcotest.(check (list (pair int int)))
+    "power-of-two buckets"
+    [ 0, 1; 1, 1; 3, 2; 7, 1; 127, 1 ]
+    (Obs.Hist.buckets h)
+
+let test_hist_merge_order_independent () =
+  let obs = [ 5; 0; 17; 17; 1; 300; 2 ] in
+  let one = Obs.Hist.create () in
+  List.iter (Obs.Hist.observe one) obs;
+  let merged = Obs.Hist.create () in
+  List.iter
+    (fun v ->
+      let part = Obs.Hist.create () in
+      Obs.Hist.observe part v;
+      Obs.Hist.merge_into ~src:part ~dst:merged)
+    (List.rev obs);
+  Alcotest.(check (list (pair int int)))
+    "merge of singletons = direct observation"
+    (Obs.Hist.buckets one) (Obs.Hist.buckets merged);
+  Alcotest.(check int) "sum preserved" (Obs.Hist.sum one) (Obs.Hist.sum merged)
+
+let test_trace_null_sink () =
+  Alcotest.(check bool) "null disabled" false (Obs.Trace.enabled Obs.Trace.null);
+  let r = Obs.Trace.with_span Obs.Trace.null "k" (fun () -> 41 + 1) in
+  Alcotest.(check int) "null with_span is the thunk" 42 r;
+  Alcotest.(check int) "null records nothing" 0
+    (List.length (Obs.Trace.spans Obs.Trace.null))
+
+let test_trace_nesting () =
+  let t = Obs.Trace.create () in
+  Alcotest.(check bool) "live enabled" true (Obs.Trace.enabled t);
+  let r =
+    Obs.Trace.with_span t "outer" (fun () ->
+        let a = Obs.Trace.with_span t "inner1" (fun () -> 1) in
+        let b = Obs.Trace.with_span t "inner2" (fun () -> 2) in
+        a + b)
+  in
+  Alcotest.(check int) "result threaded" 3 r;
+  let spans = Obs.Trace.spans t in
+  Alcotest.(check (list string)) "completion order"
+    [ "inner1"; "inner2"; "outer" ]
+    (List.map (fun s -> s.Obs.Trace.name) spans);
+  let find n = List.find (fun s -> s.Obs.Trace.name = n) spans in
+  let outer = find "outer" in
+  Alcotest.(check int) "outer at top level" 0 outer.Obs.Trace.parent;
+  List.iter
+    (fun n ->
+      let s = find n in
+      Alcotest.(check int)
+        (n ^ " nested under outer")
+        outer.Obs.Trace.id s.Obs.Trace.parent;
+      Alcotest.(check bool)
+        (n ^ " inside outer interval")
+        true
+        (s.Obs.Trace.start_ns >= outer.Obs.Trace.start_ns
+        && s.Obs.Trace.stop_ns <= outer.Obs.Trace.stop_ns))
+    [ "inner1"; "inner2" ]
+
+let test_trace_closes_on_raise () =
+  let t = Obs.Trace.create () in
+  (try Obs.Trace.with_span t "boom" (fun () -> failwith "x") with
+  | Failure _ -> ());
+  match Obs.Trace.spans t with
+  | [ s ] ->
+    Alcotest.(check string) "span recorded despite raise" "boom"
+      s.Obs.Trace.name;
+    Alcotest.(check bool) "closed" true (s.Obs.Trace.stop_ns >= s.Obs.Trace.start_ns)
+  | l -> Alcotest.failf "expected one span, got %d" (List.length l)
+
+let test_metrics_phases () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.add_phase m "generate" 1.0;
+  Obs.Metrics.add_phase m "restore" 0.5;
+  Obs.Metrics.add_phase m "generate" 0.25;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "first-seen order, repeated names accumulate"
+    [ "generate", 1.25; "restore", 0.5 ]
+    (Obs.Metrics.phases m)
+
+let test_metrics_timed () =
+  let m = Obs.Metrics.create () in
+  let trace = Obs.Trace.create () in
+  let r = Obs.Metrics.timed m ~trace "work" (fun () -> 7) in
+  Alcotest.(check int) "result" 7 r;
+  (match Obs.Metrics.phases m with
+  | [ ("work", s) ] -> Alcotest.(check bool) "duration >= 0" true (s >= 0.)
+  | l -> Alcotest.failf "expected one phase, got %d" (List.length l));
+  Alcotest.(check (list string)) "span emitted" [ "work" ]
+    (List.map (fun s -> s.Obs.Trace.name) (Obs.Trace.spans trace))
+
+let test_metrics_merge () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.add_phase a "p" 1.0;
+  Obs.Metrics.add_phase b "p" 2.0;
+  Obs.Metrics.add_phase b "q" 3.0;
+  Obs.Counters.add (Obs.Metrics.counters b) "c" 4;
+  let h = Obs.Hist.create () in
+  Obs.Hist.observe h 9;
+  Obs.Metrics.add_hist b "h" h;
+  Obs.Metrics.merge_into ~src:b ~dst:a;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "phases merged" [ "p", 3.0; "q", 3.0 ] (Obs.Metrics.phases a);
+  Alcotest.(check int) "counters merged" 4
+    (Obs.Counters.get (Obs.Metrics.counters a) "c");
+  (match Obs.Metrics.hists a with
+  | [ ("h", h') ] -> Alcotest.(check int) "hist merged" 9 (Obs.Hist.sum h')
+  | l -> Alcotest.failf "expected one hist, got %d" (List.length l))
+
+let test_metrics_json () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.add_phase m "gen\"erate" 0.125;
+  Obs.Counters.add (Obs.Metrics.counters m) "sim.frames" 64;
+  let j = Obs.Metrics.to_json m in
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length j && (String.sub j i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "schema tag" true (has "\"scanatpg-metrics/1\"");
+  Alcotest.(check bool) "escaped phase name" true (has "gen\\\"erate");
+  Alcotest.(check bool) "counter present" true (has "\"sim.frames\": 64")
+
+let test_files () =
+  let dir = Filename.temp_file "obs" "" in
+  Sys.remove dir;
+  let mpath = dir ^ ".json" and tpath = dir ^ ".jsonl" in
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.add_phase m "p" 0.5;
+  Obs.Metrics.write_file m mpath;
+  let t = Obs.Trace.create () in
+  ignore (Obs.Trace.with_span t "a" (fun () -> ()));
+  ignore (Obs.Trace.with_span t "b" (fun () -> ()));
+  Obs.Trace.write_jsonl t tpath;
+  let lines path =
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | l -> go (l :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  in
+  Alcotest.(check bool) "metrics file non-empty" true (lines mpath <> []);
+  Alcotest.(check int) "one jsonl line per span" 2 (List.length (lines tpath));
+  Sys.remove mpath;
+  Sys.remove tpath
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock", [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ] );
+      ( "counters",
+        [ Alcotest.test_case "add/get/to_alist" `Quick test_counters;
+          Alcotest.test_case "merge" `Quick test_counters_merge ] );
+      ( "hist",
+        [ Alcotest.test_case "buckets" `Quick test_hist_buckets;
+          Alcotest.test_case "merge order-independent" `Quick
+            test_hist_merge_order_independent ] );
+      ( "trace",
+        [ Alcotest.test_case "null sink" `Quick test_trace_null_sink;
+          Alcotest.test_case "nesting" `Quick test_trace_nesting;
+          Alcotest.test_case "closes on raise" `Quick test_trace_closes_on_raise
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "phase accumulation" `Quick test_metrics_phases;
+          Alcotest.test_case "timed" `Quick test_metrics_timed;
+          Alcotest.test_case "merge" `Quick test_metrics_merge;
+          Alcotest.test_case "json" `Quick test_metrics_json;
+          Alcotest.test_case "file output" `Quick test_files ] );
+    ]
