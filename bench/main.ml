@@ -589,9 +589,7 @@ let write_bench_json path ~scale ~jobs ~total_wall_s ~pipelines ~engines
            (json_escape name) ns)
        kernel_rows);
   add "}\n";
-  let oc = open_out path in
-  output_string oc (Buffer.contents b);
-  close_out oc;
+  Obs.Fileio.write_string path (Buffer.contents b);
   Printf.printf "wrote %s\n%!" path
 
 (* ----------------------------------------------------------------- main *)

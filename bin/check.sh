@@ -36,4 +36,39 @@ else
 fi
 grep -q 'omission:' "$tmpdir/table.out"
 
+echo "== degraded-run smoke test =="
+# A tiny deadline must terminate promptly with the documented degraded
+# exit code (3) and still leave a well-formed metrics document that names
+# the phase where the budget tripped.
+rc=0
+dune exec bin/scanatpg.exe -- run s298 --deadline 0.05 \
+  --metrics "$tmpdir/degraded.json" > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 3 ] || { echo "expected exit 3 (degraded), got $rc"; exit 1; }
+if command -v jq > /dev/null 2>&1; then
+  jq -e '.schema == "scanatpg-metrics/1"' "$tmpdir/degraded.json" > /dev/null
+  jq -e '.counters | keys | map(select(startswith("budget.tripped."))) | length == 1' \
+    "$tmpdir/degraded.json" > /dev/null
+else
+  grep -q '"budget.tripped.' "$tmpdir/degraded.json"
+fi
+
+echo "== kill-and-resume smoke test =="
+# Halt right after the generate phase (induced crash, exit 4), resume from
+# the checkpoint, and demand bit-identical table rows and jobs-invariant
+# counters versus an uninterrupted run — even at a different --jobs.
+rc=0
+dune exec bin/scanatpg.exe -- run s27 --checkpoint "$tmpdir/ck" \
+  --halt-after generate > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 4 ] || { echo "expected exit 4 (halted), got $rc"; exit 1; }
+dune exec bin/scanatpg.exe -- run s27 --checkpoint "$tmpdir/ck" --resume \
+  --jobs 3 --metrics "$tmpdir/resumed.json" > "$tmpdir/resumed.out" 2>/dev/null
+dune exec bin/scanatpg.exe -- run s27 \
+  --metrics "$tmpdir/uninterrupted.json" > "$tmpdir/uninterrupted.out" 2>/dev/null
+diff "$tmpdir/resumed.out" "$tmpdir/uninterrupted.out"
+if command -v jq > /dev/null 2>&1; then
+  jq -S '.counters' "$tmpdir/resumed.json" > "$tmpdir/resumed.counters"
+  jq -S '.counters' "$tmpdir/uninterrupted.json" > "$tmpdir/uninterrupted.counters"
+  diff "$tmpdir/resumed.counters" "$tmpdir/uninterrupted.counters"
+fi
+
 echo "check: OK"

@@ -7,9 +7,17 @@
                 write the sequence to a file
      compact    compact an existing sequence file
      table      regenerate the paper's Table 5/6/7 rows for chosen circuits
+     run        full pipeline for one circuit with deadlines, checkpoints
+                and resume (DESIGN.md #8)
 
    Circuits are named from the built-in catalog ("s27", "s298", ..., "b11")
-   or given as a path to a .bench file. *)
+   or given as a path to a .bench file.
+
+   Exit codes: 0 success; 1 internal error; 2 malformed input (parse
+   errors, unknown circuits, corrupt checkpoints); 3 degraded run (a
+   --deadline / --max-backtracks budget tripped); 4 stopped at a
+   --halt-after phase boundary; 124/125 are cmdliner's usage/term
+   errors. *)
 
 open Cmdliner
 
@@ -74,13 +82,13 @@ let trace_arg =
 (* ------------------------------------------------------------- helpers *)
 
 let write_sequence path seq =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      Array.iter
-        (fun v -> output_string oc (Logicsim.Vectors.to_string v ^ "\n"))
-        seq)
+  let b = Buffer.create 4096 in
+  Array.iter
+    (fun v ->
+      Buffer.add_string b (Logicsim.Vectors.to_string v);
+      Buffer.add_char b '\n')
+    seq;
+  Obs.Fileio.write_string path (Buffer.contents b)
 
 let read_sequence path =
   let ic = open_in path in
@@ -127,7 +135,9 @@ let omission_summary (o : Compaction.Omission.stats) =
 (* Run [f] with a metrics document and a tracer (live only when a --trace
    file was requested) and write the requested files afterwards.  The
    confirmations go to stderr so machine-readable stdout (CSV, .bench)
-   stays clean. *)
+   stays clean.  The files are written even when [f] raises (e.g. a
+   --halt-after stop), so partial runs still leave well-formed
+   observability output behind. *)
 let with_obs ~metrics_path ~trace_path f =
   let metrics = Obs.Metrics.create () in
   let trace =
@@ -135,18 +145,19 @@ let with_obs ~metrics_path ~trace_path f =
     | None -> Obs.Trace.null
     | Some _ -> Obs.Trace.create ()
   in
-  let r = f metrics trace in
-  Option.iter
-    (fun p ->
-      Obs.Metrics.write_file metrics p;
-      Printf.eprintf "wrote %s\n" p)
-    metrics_path;
-  Option.iter
-    (fun p ->
-      Obs.Trace.write_jsonl trace p;
-      Printf.eprintf "wrote %s\n" p)
-    trace_path;
-  r
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun p ->
+          Obs.Metrics.write_file metrics p;
+          Printf.eprintf "wrote %s\n" p)
+        metrics_path;
+      Option.iter
+        (fun p ->
+          Obs.Trace.write_jsonl trace p;
+          Printf.eprintf "wrote %s\n" p)
+        trace_path)
+    (fun () -> f metrics trace)
 
 (* ---------------------------------------------------------------- info *)
 
@@ -170,7 +181,8 @@ let info_cmd =
           Format.printf "faults: %d collapsed (universe %d)@."
             (Faultmodel.Model.fault_count model)
             model.Faultmodel.Model.universe_size
-        end)
+        end);
+    0
   in
   Cmd.v (Cmd.info "info" ~doc:"Show circuit structure and fault statistics.")
     Term.(const run $ circuit_arg $ scale_arg $ metrics_arg $ trace_arg)
@@ -189,7 +201,8 @@ let export_cmd =
             | Some path ->
               Netlist.Bench_format.write_file path c;
               Printf.printf "wrote %s\n" path
-            | None -> print_string (Netlist.Bench_format.to_string c)))
+            | None -> print_string (Netlist.Bench_format.to_string c)));
+    0
   in
   Cmd.v (Cmd.info "export" ~doc:"Write a catalog circuit in .bench format.")
     Term.(const run $ circuit_arg $ scale_arg $ out_arg $ metrics_arg $ trace_arg)
@@ -259,7 +272,8 @@ let generate_cmd =
             Printf.printf "wrote %s (%d cycles, %d observing)\n" path
               (Array.length final)
               (Core.Tester.observing_cycles program))
-          tester)
+          tester);
+    0
   in
   Cmd.v
     (Cmd.info "generate"
@@ -300,7 +314,8 @@ let compact_cmd =
           (fun path ->
             write_sequence path compacted;
             Printf.printf "wrote %s\n" path)
-          out)
+          out);
+    0
   in
   Cmd.v
     (Cmd.info "compact"
@@ -373,7 +388,8 @@ let table_cmd =
               Printf.printf "%s: %.2fs; %s\n" r.Core.Pipeline.circuit
                 r.Core.Pipeline.runtime_s
                 (omission_summary r.Core.Pipeline.omit_stats))
-            results)
+            results);
+    0
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate rows of the paper's Tables 5-7.")
@@ -381,13 +397,173 @@ let table_cmd =
       const run $ which_arg $ circuits_arg $ scale_arg $ csv_arg $ jobs_arg
       $ verbose_arg $ observe_arg $ metrics_arg $ trace_arg)
 
+(* ----------------------------------------------------------------- run *)
+
+let run_cmd =
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget for the whole run. When it expires every \
+                phase winds down at its next safe point; the run exits with \
+                code 3 and degraded (but sound) results.")
+  in
+  let backtracks_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-backtracks" ] ~docv:"N"
+          ~doc:"Global PODEM backtrack budget — a deterministic alternative \
+                to $(b,--deadline) with the same degradation behaviour.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:"Atomically replace $(docv) with a resumable snapshot after \
+                every pipeline phase and every $(b,--every) committed \
+                subsequences during generation.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Resume from the $(b,--checkpoint) file instead of starting \
+                over. Table rows and jobs-invariant counters are \
+                bit-identical to an uninterrupted run.")
+  in
+  let every_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "every" ] ~docv:"K"
+          ~doc:"Checkpoint cadence inside the generate phase (committed \
+                subsequences between snapshots).")
+  in
+  let halt_arg =
+    let phase =
+      Arg.enum
+        [ ("generate", "generate"); ("compact", "compact");
+          ("extra-detect", "extra-detect"); ("baseline", "baseline") ]
+    in
+    Arg.(
+      value & opt (some phase) None
+      & info [ "halt-after" ] ~docv:"PHASE"
+          ~doc:"Stop with exit code 4 right after $(docv) has checkpointed \
+                — an induced crash for resume testing.")
+  in
+  let observe_arg =
+    Arg.(
+      value & flag
+      & info [ "observe" ]
+          ~doc:"Also count good-machine toggle / switching activity \
+                (reported via --metrics).")
+  in
+  let run spec scale seed chains jobs observe deadline backtracks checkpoint
+      resume every halt_after metrics_path trace_path =
+    with_obs ~metrics_path ~trace_path (fun metrics trace ->
+        let c = Circuits.Catalog.circuit ~scale spec in
+        let config =
+          Core.Config.with_sim_jobs jobs
+            { (Core.Config.for_circuit c) with Core.Config.chains; seed; observe }
+        in
+        let budget =
+          match deadline, backtracks with
+          | None, None -> Obs.Budget.unlimited
+          | deadline_s, max_backtracks ->
+            Obs.Budget.create ?deadline_s ?max_backtracks ()
+        in
+        let resume_file =
+          if not resume then None
+          else
+            match checkpoint with
+            | None ->
+              raise
+                (Core.Checkpoint.Corrupt "--resume requires --checkpoint FILE")
+            | Some path -> Some (Core.Checkpoint.load path)
+        in
+        let r =
+          Core.Pipeline.run ~scale ~config ~metrics ~trace ~budget ?checkpoint
+            ?resume:resume_file ~checkpoint_every:every ?halt_after spec
+        in
+        print_string (Core.Report.table5 [ r.Core.Pipeline.row5 ]);
+        print_string (Core.Report.table6 [ r.Core.Pipeline.row6 ]);
+        Option.iter
+          (fun row -> print_string (Core.Report.table7 [ row ]))
+          r.Core.Pipeline.row7;
+        if r.Core.Pipeline.degraded then begin
+          (match Obs.Budget.tripped budget with
+           | Some reason ->
+             Printf.eprintf "scanatpg: budget exhausted (%s); results degraded\n"
+               (Obs.Budget.reason_to_string reason)
+           | None -> Printf.eprintf "scanatpg: results degraded\n");
+          3
+        end
+        else 0)
+  in
+  let exits =
+    Cmd.Exit.info 3
+      ~doc:"the $(b,--deadline) / $(b,--max-backtracks) budget tripped and \
+            the results are degraded."
+    :: Cmd.Exit.info 4
+         ~doc:"the run stopped at the requested $(b,--halt-after) phase \
+               boundary (its checkpoint was written)."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "run" ~exits
+       ~doc:"Run the full pipeline for one catalog circuit with optional \
+             deadline, checkpointing and resume (see DESIGN.md, Resilience).")
+    Term.(
+      const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ jobs_arg
+      $ observe_arg $ deadline_arg $ backtracks_arg $ checkpoint_arg
+      $ resume_arg $ every_arg $ halt_arg $ metrics_arg $ trace_arg)
+
+(* ---------------------------------------------------------------- main *)
+
 let () =
   let doc =
     "Test generation and compaction for scan circuits without the \
      scan/functional distinction (Pomeranz & Reddy, DATE 2003)."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group
-          (Cmd.info "scanatpg" ~version:"1.0.0" ~doc)
-          [ info_cmd; export_cmd; generate_cmd; compact_cmd; table_cmd ]))
+  let exits =
+    Cmd.Exit.info 1 ~doc:"on an internal error."
+    :: Cmd.Exit.info 2
+         ~doc:"on malformed input: .bench parse errors, unknown circuit \
+               names, unreadable sequence files, corrupt or mismatched \
+               checkpoints."
+    :: Cmd.Exit.info 3 ~doc:"on a degraded run (resource budget tripped)."
+    :: Cmd.Exit.info 4 ~doc:"on a $(b,--halt-after) stop."
+    :: Cmd.Exit.defaults
+  in
+  let code =
+    try
+      Cmd.eval' ~catch:false
+        (Cmd.group
+           (Cmd.info "scanatpg" ~version:"1.0.0" ~doc ~exits)
+           [ info_cmd; export_cmd; generate_cmd; compact_cmd; table_cmd;
+             run_cmd ])
+    with
+    | Netlist.Bench_format.Parse_error { line; col; token; message } ->
+      Printf.eprintf "scanatpg: parse error at line %d, column %d (%S): %s\n"
+        line col token message;
+      2
+    | Core.Checkpoint.Corrupt msg ->
+      Printf.eprintf "scanatpg: checkpoint error: %s\n" msg;
+      2
+    | Core.Pipeline.Halted phase ->
+      Printf.eprintf "scanatpg: halted after the %s phase (checkpoint written)\n"
+        phase;
+      4
+    | Not_found ->
+      Printf.eprintf "scanatpg: unknown circuit (not in the catalog)\n";
+      2
+    | Sys_error msg ->
+      Printf.eprintf "scanatpg: %s\n" msg;
+      2
+    | Netlist.Circuit.Invalid_circuit msg ->
+      Printf.eprintf "scanatpg: invalid circuit: %s\n" msg;
+      2
+    | e ->
+      Printf.eprintf "scanatpg: internal error: %s\n" (Printexc.to_string e);
+      1
+  in
+  exit code

@@ -356,7 +356,7 @@ let set_var e fr var v =
   if fr < e.dirty then e.dirty <- fr
 
 let run model ~fault ~depth ~start ~backtrack_limit ?(fixed_inputs = [])
-    ?(observe_ffs = false) ?stats () =
+    ?(observe_ffs = false) ?stats ?(budget = Obs.Budget.unlimited) () =
   let c = model.Model.circuit in
   let nodes = Circuit.node_count c in
   let inputs = Circuit.inputs c in
@@ -440,9 +440,14 @@ let run model ~fault ~depth ~start ~backtrack_limit ?(fixed_inputs = [])
       end
     end
   in
+  (* Every decision step is a safe point: on a tripped budget the search
+     abandons the fault exactly as if its backtrack budget ran out. *)
   let rec solve () =
     incr steps;
-    if !backtracks > backtrack_limit || !steps > max_steps then Aborted
+    if
+      !backtracks > backtrack_limit || !steps > max_steps
+      || not (Obs.Budget.check budget)
+    then Aborted
     else
       match find_success e ~observe_ffs with
       | Some s -> success s
@@ -464,6 +469,7 @@ let run model ~fault ~depth ~start ~backtrack_limit ?(fixed_inputs = [])
         try_objectives (objectives e)
   in
   let outcome = solve () in
+  Obs.Budget.add_backtracks budget !backtracks;
   (match stats with
    | None -> ()
    | Some s ->

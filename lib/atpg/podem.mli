@@ -58,7 +58,9 @@ val make_stats : unit -> stats
     [scan_sel = 0].  With [observe_ffs] (default [false]) the search also
     succeeds when the fault effect is latched into a flip-flop after the
     last frame, reporting {!Latched}.  [stats], when given, accumulates the
-    call's search effort. *)
+    call's search effort.  [budget], when limited, is polled at every
+    decision step (a safe point) and charged the call's backtracks; a
+    tripped budget ends the call with {!Aborted}. *)
 val run :
   Faultmodel.Model.t ->
   fault:int ->
@@ -68,5 +70,6 @@ val run :
   ?fixed_inputs:(int * Netlist.Logic.t) list ->
   ?observe_ffs:bool ->
   ?stats:stats ->
+  ?budget:Obs.Budget.t ->
   unit ->
   outcome

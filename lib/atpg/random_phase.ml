@@ -19,12 +19,16 @@ let biased_vector cfg ~width ~scan_sel_position rng =
     Logic.of_bool (Prng.Rng.int rng 100 < cfg.sel_one_percent);
   v
 
-let run session model ~scan_sel_position ~rng cfg =
+let run ?(record = fun _ -> ()) ?(budget = Obs.Budget.unlimited) session model
+    ~scan_sel_position ~rng cfg =
   let width = Circuit.input_count model.Model.circuit in
   let accepted = ref [] in
   let accepted_count = ref 0 in
   let fruitless = ref 0 in
-  while !fruitless < cfg.give_up && !accepted_count < cfg.max_vectors do
+  while
+    !fruitless < cfg.give_up && !accepted_count < cfg.max_vectors
+    && Obs.Budget.check budget
+  do
     let burst =
       Array.init cfg.burst (fun _ -> biased_vector cfg ~width ~scan_sel_position rng)
     in
@@ -42,6 +46,7 @@ let run session model ~scan_sel_position ~rng cfg =
       Faultsim.advance probe burst;
       if Faultsim.detected_count probe > 0 then begin
         Faultsim.advance session burst;
+        record burst;
         accepted := burst :: !accepted;
         accepted_count := !accepted_count + cfg.burst;
         fruitless := 0

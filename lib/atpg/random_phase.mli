@@ -17,8 +17,14 @@ type config = {
 val default_config : config
 
 (** [run session model ~scan_sel_position ~rng cfg] extends [session] with
-    the accepted vectors and returns them. *)
+    the accepted vectors and returns them.  [record] is called with each
+    accepted burst right after it is advanced into [session] — checkpointing
+    uses it to capture the exact advance-call boundaries, which the replay
+    must reproduce for counter-identical resume.  [budget] is polled before
+    every burst; a tripped budget ends the phase with what was accepted. *)
 val run :
+  ?record:(Logicsim.Vectors.t -> unit) ->
+  ?budget:Obs.Budget.t ->
   Logicsim.Faultsim.t ->
   Faultmodel.Model.t ->
   scan_sel_position:int ->

@@ -13,45 +13,53 @@ let config_for c =
   let deep = 8 + (lv.Levelize.depth / 8) in
   { default_config with depths = [ 1; 2; 3; 5; deep ] }
 
-let search model cfg ~fault ~start ~observe_ffs ~fixed_inputs ?stats () =
+let note_abort = function
+  | None -> ()
+  | Some r -> r := true
+
+let search model cfg ~fault ~start ~observe_ffs ~fixed_inputs ?stats
+    ?(budget = Obs.Budget.unlimited) ?aborted () =
   let rec go = function
     | [] -> None
     | depth :: rest ->
       (match
          Podem.run model ~fault ~depth ~start ~backtrack_limit:cfg.backtrack_limit
-           ~fixed_inputs ~observe_ffs ?stats ()
+           ~fixed_inputs ~observe_ffs ?stats ~budget ()
        with
        | Podem.Detected { vectors; required_state } -> Some (`Detected (vectors, required_state))
        | Podem.Latched { vectors; required_state; dff } ->
          Some (`Latched (vectors, required_state, dff))
-       | Podem.Aborted | Podem.Exhausted -> go rest)
+       | Podem.Aborted ->
+         note_abort aborted;
+         if Obs.Budget.check budget then go rest else None
+       | Podem.Exhausted -> go rest)
   in
   go cfg.depths
 
-let detect model cfg ~fault ~good ~faulty ?stats () =
+let detect model cfg ~fault ~good ~faulty ?stats ?budget ?aborted () =
   match
     search model cfg ~fault
       ~start:(Podem.From_state { good; faulty })
-      ~observe_ffs:false ~fixed_inputs:[] ?stats ()
+      ~observe_ffs:false ~fixed_inputs:[] ?stats ?budget ?aborted ()
   with
   | Some (`Detected (vectors, _)) -> Some vectors
   | Some (`Latched _) -> None
   | None -> None
 
-let detect_latch model cfg ~fault ~good ~faulty ?stats () =
+let detect_latch model cfg ~fault ~good ~faulty ?stats ?budget ?aborted () =
   match
     search model cfg ~fault
       ~start:(Podem.From_state { good; faulty })
-      ~observe_ffs:true ~fixed_inputs:[] ?stats ()
+      ~observe_ffs:true ~fixed_inputs:[] ?stats ?budget ?aborted ()
   with
   | Some (`Detected (vectors, _)) -> Some (`Detected vectors)
   | Some (`Latched (vectors, _, dff)) -> Some (`Latched (vectors, dff))
   | None -> None
 
-let detect_free model cfg ~fault ?(fixed_inputs = []) ?stats () =
+let detect_free model cfg ~fault ?(fixed_inputs = []) ?stats ?budget ?aborted () =
   match
     search model cfg ~fault ~start:Podem.Free_state ~observe_ffs:false
-      ~fixed_inputs ?stats ()
+      ~fixed_inputs ?stats ?budget ?aborted ()
   with
   | Some (`Detected (vectors, Some state)) -> Some (state, vectors)
   | Some (`Detected (_, None)) | Some (`Latched _) | None -> None

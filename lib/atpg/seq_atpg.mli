@@ -5,7 +5,14 @@
     [detect] continues a running sequence from a known state; [detect_free]
     is the scan-based ("second approach") mode with a controllable initial
     state; [detect_latch] accepts latching the fault effect into a flip-flop
-    as success — the hook for the paper's Section-2 functional knowledge. *)
+    as success — the hook for the paper's Section-2 functional knowledge.
+
+    All entry points accept a cooperative [budget] (default
+    {!Obs.Budget.unlimited}), polled inside every PODEM call and between
+    depths: a tripped budget ends the fault's attempt immediately.
+    [aborted], when given, is set to [true] if any depth's search ran out
+    of backtracks or budget — the caller's signal that the fault is worth
+    re-queuing with an escalated limit rather than hopeless. *)
 
 type config = {
   depths : int list;  (** frame counts tried in order, e.g. [\[1;2;3;5;8\]] *)
@@ -28,6 +35,8 @@ val detect :
   good:Netlist.Logic.t array ->
   faulty:Netlist.Logic.t array ->
   ?stats:Podem.stats ->
+  ?budget:Obs.Budget.t ->
+  ?aborted:bool ref ->
   unit ->
   Logicsim.Vectors.t option
 
@@ -40,6 +49,8 @@ val detect_latch :
   good:Netlist.Logic.t array ->
   faulty:Netlist.Logic.t array ->
   ?stats:Podem.stats ->
+  ?budget:Obs.Budget.t ->
+  ?aborted:bool ref ->
   unit ->
   [ `Detected of Logicsim.Vectors.t | `Latched of Logicsim.Vectors.t * int ] option
 
@@ -52,5 +63,7 @@ val detect_free :
   fault:int ->
   ?fixed_inputs:(int * Netlist.Logic.t) list ->
   ?stats:Podem.stats ->
+  ?budget:Obs.Budget.t ->
+  ?aborted:bool ref ->
   unit ->
   (Netlist.Logic.t array * Logicsim.Vectors.t) option

@@ -30,7 +30,8 @@ type stats = {
    detected at or after the trial position — over the suffix.  Probing with
    the faults sorted by detection time clusters each simulator word around
    one region of the suffix, letting groups retire early. *)
-let one_pass model (targets : Target.t) config ~chunk seq det budget =
+let one_pass model (targets : Target.t) config ~chunk seq det trial_budget
+    obudget =
   let n = Target.count targets in
   let seq = ref seq in
   let changed = ref false in
@@ -83,9 +84,12 @@ let one_pass model (targets : Target.t) config ~chunk seq det budget =
     else None
   in
   let budget_left () =
-    match budget with
-    | Some b -> !b > 0
-    | None -> true
+    (match trial_budget with
+     | Some b -> !b > 0
+     | None -> true)
+    (* A tripped time/backtrack budget ends the pass at the next trial
+       boundary; the sequence built so far is valid as it stands. *)
+    && Obs.Budget.check obudget
   in
   while !i < Array.length !seq && budget_left () do
     let len = Array.length !seq in
@@ -129,20 +133,21 @@ let one_pass model (targets : Target.t) config ~chunk seq det budget =
           removable; the later chunk-1 pass handles the fine grain). *)
        Faultsim.advance !session [| (!seq).(!i) |];
        incr i);
-    (match budget with
+    (match trial_budget with
      | Some b -> decr b
      | None -> ())
   done;
   !seq, !changed, (!trials, !accepted, !removed)
 
-let run model seq (targets : Target.t) config =
+let run ?(budget = Obs.Budget.unlimited) model seq (targets : Target.t) config =
   let n = Target.count targets in
   let det = Array.copy targets.Target.det_times in
-  let budget = Option.map ref config.max_trials in
+  let trial_budget = Option.map ref config.max_trials in
   let budget_left () =
-    match budget with
-    | Some b -> !b > 0
-    | None -> true
+    (match trial_budget with
+     | Some b -> !b > 0
+     | None -> true)
+    && Obs.Budget.check budget
   in
   (* Coarse-to-fine schedule: large chunks remove whole useless regions in
      one verification; the trailing single-vector passes polish until a
@@ -160,7 +165,7 @@ let run model seq (targets : Target.t) config =
     (fun chunk ->
       if !continue_ && budget_left () then begin
         let seq', changed, (t, a, r) =
-          one_pass model targets config ~chunk !seq det budget
+          one_pass model targets config ~chunk !seq det trial_budget budget
         in
         seq := seq';
         trials := !trials + t;

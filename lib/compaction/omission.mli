@@ -41,8 +41,11 @@ type stats = {
 
 (** [run model seq targets config] returns the compacted sequence together
     with the targets' detection times in it and the run's trial
-    statistics. *)
+    statistics.  [budget] (default {!Obs.Budget.unlimited}) is polled at
+    every trial boundary: a trip ends the run with the best sequence found
+    so far, which is always a valid test for every target. *)
 val run :
+  ?budget:Obs.Budget.t ->
   Faultmodel.Model.t ->
   Logicsim.Vectors.t ->
   Target.t ->

@@ -26,7 +26,7 @@ type stats = {
 
 let make_stats () = { restored = 0; probes = 0; batch_sims = 0 }
 
-let run ?stats model seq (targets : Target.t) =
+let run ?stats ?(budget = Obs.Budget.unlimited) model seq (targets : Target.t) =
   let count f =
     match stats with
     | None -> ()
@@ -45,9 +45,10 @@ let run ?stats model seq (targets : Target.t) =
   let detected = Array.make n false in
   let simulate_members ks =
     (* One parallel run of the still-undetected members over the current
-       subsequence; marks detections. *)
+       subsequence; marks detections.  Skipped once the budget trips:
+       unmarked faults fall through to the cheap full-prefix restore. *)
     let pending = List.filter (fun k -> not detected.(k)) ks in
-    if pending <> [] then begin
+    if pending <> [] && Obs.Budget.check budget then begin
       let ids =
         Array.of_list (List.map (fun k -> targets.Target.fault_ids.(k)) pending)
       in
@@ -66,6 +67,19 @@ let run ?stats model seq (targets : Target.t) =
     let q = ref dt in
     let finished = ref false in
     while not !finished do
+      (* Degraded mode: once the budget trips, stop probing and restore the
+         whole remaining prefix [0..q] in one step.  That reproduces the
+         original simulation up to [dt], so the fault is still detected —
+         the result stays sound, merely less compact. *)
+      if Obs.Budget.expired budget then begin
+        while !q >= 0 do
+          if not keep.(!q) then begin
+            keep.(!q) <- true;
+            count (fun s -> s.restored <- s.restored + 1)
+          end;
+          decr q
+        done
+      end;
       (* Restore up to [restore_chunk] fresh vectors walking backwards. *)
       let added = ref 0 in
       while !added < restore_chunk && !q >= 0 do

@@ -23,7 +23,13 @@ val make_stats : unit -> stats
 (** [run model seq targets] returns the restored subsequence (original
     vector order; a subset of [seq]'s vectors).  The result is guaranteed to
     detect every target.  [stats], when given, accumulates the run's work
-    counters. *)
+    counters.
+
+    When [budget] trips mid-run the procedure degrades gracefully: probing
+    stops and every unfinished fault restores its whole prefix [[0..dt]],
+    which reproduces the original simulation.  The output is then less
+    compact but still detects every target. *)
 val run :
   ?stats:stats ->
+  ?budget:Obs.Budget.t ->
   Faultmodel.Model.t -> Logicsim.Vectors.t -> Target.t -> Logicsim.Vectors.t

@@ -1,0 +1,4 @@
+(* Re-export: the budget token lives in [Obs] so the lower layers (atpg,
+   logicsim, compaction) can poll it without depending on [core]; this
+   alias gives the pipeline's own modules the natural name. *)
+include Obs.Budget

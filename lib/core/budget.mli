@@ -1,0 +1,11 @@
+(** Alias of {!Obs.Budget}, the cooperative cancellation / deadline token.
+
+    The implementation lives in [Obs] so the layers below [core] (atpg,
+    logicsim, compaction) can poll the same token without a dependency
+    cycle; [Core.Budget] is the name pipeline-level code uses.  The types
+    are equal, so a token created here is accepted everywhere. *)
+
+include
+  module type of Obs.Budget
+    with type t = Obs.Budget.t
+     and type reason = Obs.Budget.reason

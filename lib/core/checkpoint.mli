@@ -1,0 +1,62 @@
+(** Crash-safe pipeline checkpoints (DESIGN.md §8).
+
+    A checkpoint captures the pipeline's progress either mid-generation
+    (a {!Flow.cursor}) or at a phase boundary (the completed phases'
+    results).  Files are versioned ([scanatpg-checkpoint/1]), carry an
+    FNV-1a 64 checksum of the marshaled payload, and are written
+    atomically via {!Obs.Fileio}, so an interrupted run always leaves a
+    loadable file.  Resuming replays nothing that already ran: completed
+    phase results (and the jobs-invariant counters they contributed) are
+    restored verbatim, and a generation cursor resumes the flow with
+    bit-identical results (see {!Flow.cursor}). *)
+
+(** Results of the phases completed so far, in pipeline order: [p_compact]
+    (row-6 restoration + omission), [p_ext_det], [p_baseline].  [p_flow]
+    and the telemetry snapshots are always present.  [p_counters] holds the
+    metrics document's counters at the boundary and [p_rstats] the
+    restoration work counters, so a resumed run's final counter totals
+    equal an uninterrupted run's. *)
+type phased = {
+  p_flow : Flow.stats;
+  p_counters : (string * int) list;
+  p_rstats : int * int * int;  (** restored, probes, batch_sims *)
+  p_compact :
+    (Logicsim.Vectors.t * Logicsim.Vectors.t * Compaction.Omission.stats)
+      option;
+  p_ext_det : int option;
+  p_baseline : (Scanins.Scan_test.t list * int * Baseline.Gen26.result) option;
+}
+
+type stage =
+  | Generating of Flow.cursor  (** mid-generation *)
+  | Phased of phased  (** at a phase boundary after generation *)
+
+type file = {
+  fingerprint : string;
+  stage : stage;
+}
+
+(** Raised by {!load} on unreadable, foreign, truncated or corrupted
+    files. *)
+exception Corrupt of string
+
+(** Identity of the run a checkpoint belongs to: circuit, scale, seed and
+    chain count.  [sim_jobs] is excluded — results are jobs-invariant, so
+    a checkpoint may be resumed at a different parallelism. *)
+val fingerprint :
+  circuit:string ->
+  scale:Circuits.Profiles.scale ->
+  seed:int64 ->
+  chains:int ->
+  string
+
+(** Short human name of the last completed (or in-progress) phase, for
+    logs and progress messages. *)
+val stage_name : stage -> string
+
+(** [save ~path ~fingerprint stage] writes atomically: the previous file
+    (if any) is replaced only once the new one is fully on disk. *)
+val save : path:string -> fingerprint:string -> stage -> unit
+
+(** @raise Corrupt when the file is not a loadable version-1 checkpoint. *)
+val load : string -> file

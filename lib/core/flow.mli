@@ -28,17 +28,61 @@ type stats = {
   by_drain : int;  (** via scan-knowledge drains — the paper's "funct" *)
   by_justify : int;  (** via scan-load justification *)
   undetected : int array;  (** targeted fault ids left undetected *)
+  aborted_faults : int array;
+  (** undetected faults whose search aborted on a backtrack or budget
+      ceiling (or was skipped after a budget trip) — candidates for a
+      re-run with more headroom, as opposed to faults proven hard *)
   targets : Compaction.Target.t;
   (** detected faults with detection times, ready for compaction *)
+}
+
+(** Mid-generation resume point (see DESIGN.md §8).  A cursor records the
+    target list, the exact [Faultsim.advance] call boundaries executed so
+    far, the RNG state and the counter snapshot; resuming replays the
+    recorded advances with identical boundaries, which makes every
+    detection time, the group repack schedule and all jobs-invariant
+    telemetry counters bit-identical to the uninterrupted run.  Treat it as
+    opaque; it is [Marshal]-safe (plain data, no closures). *)
+type cursor = {
+  c_target_ids : int array;
+  c_pruned_redundant : int;
+  c_next_fault : int;
+  c_segments : Logicsim.Vectors.t list;
+  c_rng_state : int64;
+  c_by_random : int;
+  c_by_atpg : int;
+  c_by_drain : int;
+  c_by_justify : int;
+  c_aborted : int list;
+  c_atpg_calls : int;
+  c_atpg_decisions : int;
+  c_atpg_backtracks : int;
 }
 
 (** [generate ?metrics cfg sk model] runs the flow.  [metrics], when given,
     receives the flow's search-effort and simulation counters ([atpg.*],
     [sim.*], and — with [cfg.observe] — [activity.*] plus the
     [sim.frame_toggles] histogram); every counter is independent of
-    [cfg.sim_jobs]. *)
+    [cfg.sim_jobs].
+
+    [budget] (default {!Obs.Budget.unlimited}) makes the flow an anytime
+    procedure: on a trip the current fault attempt winds down at the next
+    PODEM safe point, remaining faults are skipped (and reported in
+    [aborted_faults]), and the stats describe the sequence built so far.
+    When a limited budget still has headroom after the full pass, aborted
+    faults are re-queued once with a 4x backtrack ceiling.
+
+    [checkpoint_every] > 0 calls [on_checkpoint] with a {!cursor} at the
+    next fault boundary after every [checkpoint_every] committed
+    subsequences; [resume] continues generation from such a cursor
+    (skipping the random phase and redundancy pruning, which the cursor
+    already accounts for). *)
 val generate :
   ?metrics:Obs.Metrics.t ->
+  ?budget:Obs.Budget.t ->
+  ?resume:cursor ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(cursor -> unit) ->
   Config.t -> Atpg.Scan_knowledge.t -> Faultmodel.Model.t -> stats
 
 (** Fault coverage in percent: [detected / targeted]. *)

@@ -43,25 +43,43 @@ type result = {
   row6 : table6_row;
   row7 : table7_row option;
   flow : Flow.stats;
+  degraded : bool;
   runtime_s : float;
   metrics : Obs.Metrics.t;
   omit_stats : Compaction.Omission.stats;
 }
+
+exception Halted of string
 
 let scan_count scan seq =
   Vectors.count seq ~position:(Scan.sel_position scan) ~value:Logic.One
 
 let lengths scan seq = { total = Array.length seq; scan = scan_count scan seq }
 
+let zero_omit_stats =
+  {
+    Compaction.Omission.trials = 0;
+    accepted = 0;
+    rejected = 0;
+    removed_vectors = 0;
+    passes = 0;
+    removed_per_pass = [||];
+  }
+
 (* Restoration followed by omission, as in the paper's experiments.  The
    omission trial budget adapts to the restored length so that very large
    circuits stay within a laptop-scale run; the budget is far above what the
-   schedule consumes on the small and medium benchmarks. *)
-let compact cfg model seq targets ~metrics ~trace ~rstats =
+   schedule consumes on the small and medium benchmarks.
+
+   [budget] reaches the trial loops of both procedures but deliberately not
+   [Target.compute]: a frozen probe there would silently drop compaction
+   targets, whereas restoration and omission degrade to a valid (merely
+   longer) sequence. *)
+let compact cfg model seq targets ~metrics ~trace ~rstats ~budget =
   let restored, targets_r =
     Obs.Metrics.timed metrics ~trace "restore" (fun () ->
         let restored =
-          Compaction.Restoration.run ~stats:rstats model seq targets
+          Compaction.Restoration.run ~stats:rstats ~budget model seq targets
         in
         let targets_r =
           Compaction.Target.compute ~jobs:cfg.Config.sim_jobs model restored
@@ -78,7 +96,7 @@ let compact cfg model seq targets ~metrics ~trace ~rstats =
   in
   let omitted, _, ostats =
     Obs.Metrics.timed metrics ~trace "omit" (fun () ->
-        Compaction.Omission.run model restored targets_r omission)
+        Compaction.Omission.run ~budget model restored targets_r omission)
   in
   let c = Obs.Metrics.counters metrics in
   Obs.Counters.add c "omit.trials" ostats.Compaction.Omission.trials;
@@ -90,7 +108,8 @@ let compact cfg model seq targets ~metrics ~trace ~rstats =
   restored, omitted, ostats
 
 let run ?(scale = Circuits.Profiles.Quick) ?config ?metrics ?(trace = Obs.Trace.null)
-    name =
+    ?(budget = Obs.Budget.unlimited) ?checkpoint ?resume
+    ?(checkpoint_every = 25) ?halt_after name =
   let metrics =
     match metrics with
     | Some m -> m
@@ -106,6 +125,39 @@ let run ?(scale = Circuits.Profiles.Quick) ?config ?metrics ?(trace = Obs.Trace.
     | Some cfg -> cfg
     | None -> Config.for_circuit c
   in
+  let fp =
+    Checkpoint.fingerprint ~circuit:name ~scale ~seed:cfg.Config.seed
+      ~chains:cfg.Config.chains
+  in
+  (match resume with
+   | Some (f : Checkpoint.file) ->
+     if f.Checkpoint.fingerprint <> fp then
+       raise
+         (Checkpoint.Corrupt
+            (Printf.sprintf "fingerprint %S does not match this run (%S)"
+               f.Checkpoint.fingerprint fp))
+   | None -> ());
+  let save_stage stage =
+    match checkpoint with
+    | None -> ()
+    | Some path -> Checkpoint.save ~path ~fingerprint:fp stage
+  in
+  let halt phase =
+    match halt_after with
+    | Some p when p = phase -> raise (Halted phase)
+    | _ -> ()
+  in
+  let cnt = Obs.Metrics.counters metrics in
+  (* The first phase the budget was seen tripped in, for the
+     [budget.tripped.<phase>] telemetry counter and the [degraded] flag. *)
+  let tripped_in = ref None in
+  let note_trip phase =
+    if !tripped_in = None && Obs.Budget.expired budget then begin
+      tripped_in := Some phase;
+      Obs.Counters.add cnt (Printf.sprintf "budget.tripped.%s" phase) 1
+    end;
+    !tripped_in <> None
+  in
   let scan =
     Obs.Metrics.timed metrics ~trace "scan-insert" (fun () ->
         Scan.insert ~chains:cfg.Config.chains c)
@@ -115,38 +167,155 @@ let run ?(scale = Circuits.Profiles.Quick) ?config ?metrics ?(trace = Obs.Trace.
         Model.build scan.Scan.circuit)
   in
   let sk = Atpg.Scan_knowledge.create scan in
-  let flow =
-    Obs.Metrics.timed metrics ~trace "generate" (fun () ->
-        Flow.generate ~metrics cfg sk model)
+  (* Phase results restored from a phase-boundary checkpoint, if any. *)
+  let restored_phases =
+    match resume with
+    | Some { Checkpoint.stage = Checkpoint.Phased p; _ } ->
+      List.iter (fun (k, v) -> Obs.Counters.add cnt k v) p.Checkpoint.p_counters;
+      let r, pr, bs = p.Checkpoint.p_rstats in
+      rstats.Compaction.Restoration.restored <- r;
+      rstats.Compaction.Restoration.probes <- pr;
+      rstats.Compaction.Restoration.batch_sims <- bs;
+      Some p
+    | _ -> None
   in
+  let counters_snapshot () = Obs.Counters.to_alist cnt in
+  let rstats_snapshot () =
+    ( rstats.Compaction.Restoration.restored,
+      rstats.Compaction.Restoration.probes,
+      rstats.Compaction.Restoration.batch_sims )
+  in
+  let flow =
+    match restored_phases with
+    | Some p -> p.Checkpoint.p_flow
+    | None ->
+      let gen_resume =
+        match resume with
+        | Some { Checkpoint.stage = Checkpoint.Generating cur; _ } -> Some cur
+        | _ -> None
+      in
+      let on_checkpoint cur = save_stage (Checkpoint.Generating cur) in
+      let flow =
+        Obs.Metrics.timed metrics ~trace "generate" (fun () ->
+            Flow.generate ~metrics ~budget ?resume:gen_resume
+              ~checkpoint_every:(if checkpoint = None then 0 else checkpoint_every)
+              ~on_checkpoint cfg sk model)
+      in
+      save_stage
+        (Checkpoint.Phased
+           {
+             Checkpoint.p_flow = flow;
+             p_counters = counters_snapshot ();
+             p_rstats = rstats_snapshot ();
+             p_compact = None;
+             p_ext_det = None;
+             p_baseline = None;
+           });
+      flow
+  in
+  halt "generate";
   let seq = flow.Flow.sequence in
   let targets = flow.Flow.targets in
+  let gen_tripped = note_trip "generate" in
+  (* Degradation ladder: once the budget has tripped, every remaining phase
+     is replaced by its cheapest sound stand-in — compaction returns the
+     sequence unchanged, extra detection reports none, the baseline (and
+     with it Table 7) is skipped. *)
   let restored, omitted, omit_stats =
-    compact cfg model seq targets ~metrics ~trace ~rstats
+    if gen_tripped then seq, seq, zero_omit_stats
+    else begin
+      match restored_phases with
+      | Some { Checkpoint.p_compact = Some (r, o, s); _ } -> r, o, s
+      | _ ->
+        let r, o, s =
+          compact cfg model seq targets ~metrics ~trace ~rstats ~budget
+        in
+        save_stage
+          (Checkpoint.Phased
+             {
+               Checkpoint.p_flow = flow;
+               p_counters = counters_snapshot ();
+               p_rstats = rstats_snapshot ();
+               p_compact = Some (r, o, s);
+               p_ext_det = None;
+               p_baseline = None;
+             });
+        r, o, s
+    end
   in
+  halt "compact";
+  let compact_tripped = note_trip "compact" in
   (* Extra detections: previously-undetected targeted faults that the
      compacted sequence happens to catch. *)
   let ext_det =
-    Obs.Metrics.timed metrics ~trace "extra-detect" (fun () ->
-        if Array.length flow.Flow.undetected = 0 then 0
-        else begin
-          let times =
-            Faultsim.detection_times ~jobs:cfg.Config.sim_jobs model
-              ~fault_ids:flow.Flow.undetected omitted
-          in
-          Array.fold_left (fun acc t -> if t >= 0 then acc + 1 else acc) 0 times
-        end)
+    if compact_tripped then 0
+    else begin
+      match restored_phases with
+      | Some { Checkpoint.p_ext_det = Some e; _ } -> e
+      | _ ->
+        let e =
+          Obs.Metrics.timed metrics ~trace "extra-detect" (fun () ->
+              if Array.length flow.Flow.undetected = 0 then 0
+              else begin
+                let times =
+                  Faultsim.detection_times ~jobs:cfg.Config.sim_jobs model
+                    ~fault_ids:flow.Flow.undetected omitted
+                in
+                Array.fold_left
+                  (fun acc t -> if t >= 0 then acc + 1 else acc)
+                  0 times
+              end)
+        in
+        save_stage
+          (Checkpoint.Phased
+             {
+               Checkpoint.p_flow = flow;
+               p_counters = counters_snapshot ();
+               p_rstats = rstats_snapshot ();
+               p_compact = Some (restored, omitted, omit_stats);
+               p_ext_det = Some e;
+               p_baseline = None;
+             });
+        e
+    end
   in
+  halt "extra-detect";
+  let ext_tripped = note_trip "extra-detect" in
   (* Baseline ([26]-style): generation + test dropping. *)
   let base_tests, baseline_cycles, base =
-    Obs.Metrics.timed metrics ~trace "baseline" (fun () ->
-        let base = Baseline.Gen26.generate scan model cfg.Config.atpg in
-        let base_tests =
-          Baseline.Compact26.run scan model
-            ~fault_ids:base.Baseline.Gen26.detected base.Baseline.Gen26.tests
+    if ext_tripped then
+      ( [],
+        0,
+        { Baseline.Gen26.tests = []; detected = [||]; undetected = [||] } )
+    else begin
+      match restored_phases with
+      | Some { Checkpoint.p_baseline = Some (bt, bc, b); _ } -> bt, bc, b
+      | _ ->
+        let bt, bc, b =
+          Obs.Metrics.timed metrics ~trace "baseline" (fun () ->
+              let base = Baseline.Gen26.generate scan model cfg.Config.atpg in
+              let base_tests =
+                Baseline.Compact26.run scan model
+                  ~fault_ids:base.Baseline.Gen26.detected
+                  base.Baseline.Gen26.tests
+              in
+              base_tests, Baseline.Gen26.cycles scan base_tests, base)
         in
-        base_tests, Baseline.Gen26.cycles scan base_tests, base)
+        save_stage
+          (Checkpoint.Phased
+             {
+               Checkpoint.p_flow = flow;
+               p_counters = counters_snapshot ();
+               p_rstats = rstats_snapshot ();
+               p_compact = Some (restored, omitted, omit_stats);
+               p_ext_det = Some ext_det;
+               p_baseline = Some (bt, bc, b);
+             });
+        bt, bc, b
+    end
   in
+  halt "baseline";
+  let baseline_tripped = note_trip "baseline" in
   let row5 =
     {
       name;
@@ -171,7 +340,7 @@ let run ?(scale = Circuits.Profiles.Quick) ?config ?metrics ?(trace = Obs.Trace.
   (* Table 7: translate the baseline's compacted set and compact the
      translation. *)
   let row7 =
-    if base_tests = [] then None
+    if base_tests = [] || baseline_tripped then None
     else begin
       let t7, targets7 =
         Obs.Metrics.timed metrics ~trace "translate" (fun () ->
@@ -186,7 +355,7 @@ let run ?(scale = Circuits.Profiles.Quick) ?config ?metrics ?(trace = Obs.Trace.
       (* Row 7's compaction accumulates into the same restore/omit phases
          and counters as row 6's. *)
       let restored7, omitted7, _ =
-        compact cfg model t7 targets7 ~metrics ~trace ~rstats
+        compact cfg model t7 targets7 ~metrics ~trace ~rstats ~budget
       in
       Some
         {
@@ -198,12 +367,13 @@ let run ?(scale = Circuits.Profiles.Quick) ?config ?metrics ?(trace = Obs.Trace.
         }
     end
   in
-  let cnt = Obs.Metrics.counters metrics in
+  ignore (note_trip "translate");
   Obs.Counters.add cnt "restore.vectors_restored"
     rstats.Compaction.Restoration.restored;
   Obs.Counters.add cnt "restore.probes" rstats.Compaction.Restoration.probes;
   Obs.Counters.add cnt "restore.batch_sims"
     rstats.Compaction.Restoration.batch_sims;
   { circuit = name; row5; row6; row7; flow;
+    degraded = !tripped_in <> None;
     runtime_s = Obs.Clock.to_s (Obs.Clock.elapsed_ns t0);
     metrics; omit_stats }

@@ -5,19 +5,24 @@ type verdict =
   | Redundant
   | Unknown
 
-let classify model ~fault ~backtrack_limit =
+let classify ?(budget = Obs.Budget.unlimited) model ~fault ~backtrack_limit =
   match
     Atpg.Podem.run model ~fault ~depth:1 ~start:Atpg.Podem.Free_state
-      ~backtrack_limit ~observe_ffs:true ()
+      ~backtrack_limit ~observe_ffs:true ~budget ()
   with
   | Atpg.Podem.Detected _ | Atpg.Podem.Latched _ -> Testable
   | Atpg.Podem.Exhausted -> Redundant
   | Atpg.Podem.Aborted -> Unknown
 
-let partition model ~backtrack_limit =
+let partition ?(budget = Obs.Budget.unlimited) model ~backtrack_limit =
   let targets = ref [] and redundant = ref [] and unknown = ref [] in
   for fault = Model.fault_count model - 1 downto 0 do
-    match classify model ~fault ~backtrack_limit with
+    (* Once the budget trips every classify returns Unknown (sound: the
+       fault stays targeted); skip the PODEM calls entirely. *)
+    match
+      if Obs.Budget.check budget then classify ~budget model ~fault ~backtrack_limit
+      else Unknown
+    with
     | Testable -> targets := fault :: !targets
     | Redundant -> redundant := fault :: !redundant
     | Unknown ->

@@ -15,10 +15,14 @@ type verdict =
   | Unknown  (** backtrack budget hit before a proof either way *)
 
 val classify :
+  ?budget:Obs.Budget.t ->
   Faultmodel.Model.t -> fault:int -> backtrack_limit:int -> verdict
 
 (** [partition model ~backtrack_limit] classifies the whole fault list and
     returns [(targets, proven_redundant, unknown)].  [Unknown] faults are
-    kept in [targets] (they are never excluded without proof). *)
+    kept in [targets] (they are never excluded without proof).  A tripped
+    [budget] short-circuits the remaining faults to [Unknown] — degraded
+    but sound, since no fault is dropped without an exhaustion proof. *)
 val partition :
+  ?budget:Obs.Budget.t ->
   Faultmodel.Model.t -> backtrack_limit:int -> int array * int array * int array

@@ -49,8 +49,4 @@ let to_string t =
     t.cycles;
   Buffer.contents buf
 
-let write_file path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_string t))
+let write_file path t = Obs.Fileio.write_string path (to_string t)

@@ -113,6 +113,7 @@ type t = {
   fanins : int array array;
   comb_fanouts : int array array;  (* fanouts minus flip-flops (latch step) *)
   good : Goodsim.t;
+  budget : Obs.Budget.t;
   fault_ids : int array;  (* the targeted faults, in the caller's order *)
   mutable groups : group array;  (* repacking may rewrite the array *)
   group_of : int array;  (* fault id -> group index, -1 when untargeted *)
@@ -200,8 +201,16 @@ let build_injections model dff_index ids =
   in
   inj_nodes, inj1, inj0, inj_dff
 
+(* Test instrumentation: called once per advance per scheduled block with
+   the block's canonical id, from whichever domain owns the block.  The
+   fault-injection tests poison a specific block to exercise the
+   cross-domain error path; production leaves the hook at its no-op. *)
+let block_hook : (int -> unit) ref = ref (fun _ -> ())
+let set_block_hook f = block_hook := f
+let clear_block_hook () = block_hook := fun _ -> ()
+
 let create ?good_state ?faulty_states ?(engine = Event) ?(jobs = 1)
-    ?(observe = false) model ~fault_ids =
+    ?(observe = false) ?(budget = Obs.Budget.unlimited) model ~fault_ids =
   let c = model.Model.circuit in
   let dffs = Circuit.dffs c in
   let nff = Array.length dffs in
@@ -302,6 +311,7 @@ let create ?good_state ?faulty_states ?(engine = Event) ?(jobs = 1)
                (fun m -> (Circuit.node c m).Circuit.kind <> Gate.Dff)
                (Array.to_list (Circuit.fanout c nd))));
     good;
+    budget;
     fault_ids = Array.copy fault_ids;
     groups;
     group_of;
@@ -485,6 +495,7 @@ let sim_frame_dense t g vec good_po =
 let advance_dense t view =
   let nframes = View.length view in
   let sc = t.scratch in
+  let limited = Obs.Budget.limited t.budget in
   reset_sstats sc;
   let good_pos =
     Array.init nframes (fun i ->
@@ -503,7 +514,10 @@ let advance_dense t view =
           g.inj_nodes;
         t.time <- t0;
         let fi = ref 0 in
-        while g.active <> 0 && !fi < nframes do
+        while
+          g.active <> 0 && !fi < nframes
+          && ((not limited) || Obs.Budget.check t.budget)
+        do
           sim_frame_dense t g (View.get view !fi) good_pos.(!fi);
           t.time <- t.time + 1;
           incr fi
@@ -856,13 +870,26 @@ let run_worker t sc gsim view t0 ~blocks ~step_all =
   let nframes = View.length view in
   let n = Array.length sc.gw0 in
   reset_sstats sc;
+  Array.iter (fun b -> !block_hook b.bid) blocks;
   let detections = ref 0 in
   let live = ref (Array.fold_left (fun a b -> a + b.blive) 0 blocks) in
+  (* A tripped budget freezes this worker's fault machines at the current
+     frame (sound: no detection is ever invented, faults merely stay
+     undetected).  Only the session domain probes the clock; spawned
+     workers read the atomic tripped flag, keeping the budget's non-atomic
+     probe state single-domain.  The session's good machine still steps
+     through every frame so its final state stays consistent. *)
+  let limited = Obs.Budget.limited t.budget in
+  let stopped = ref false in
   let fi = ref 0 in
-  while !fi < nframes && (!live > 0 || step_all) do
+  while !fi < nframes && ((!live > 0 && not !stopped) || step_all) do
     Goodsim.step gsim (View.get view !fi);
     if step_all && t.observe then count_activity t gsim;
-    if !live > 0 then begin
+    if limited && not !stopped
+       && (if step_all then Obs.Budget.expired t.budget
+           else Obs.Budget.tripped t.budget <> None)
+    then stopped := true;
+    if !live > 0 && not !stopped then begin
       for nd = 0 to n - 1 do
         match Goodsim.value gsim nd with
         | Logic.Zero ->
@@ -957,22 +984,44 @@ let advance_event t view =
         Array.iter (fun b -> if b.bid mod jobs = w then acc := b :: !acc) blocks;
         Array.of_list (List.rev !acc)
       in
+      (* An exception in any worker (including the session domain's own
+         share) must not leave sibling domains unjoined: capture each
+         worker's outcome, join everything, then re-raise the first error —
+         session domain first, then spawn order — with its backtrace. *)
       let spawned =
         Array.init (jobs - 1) (fun k ->
             let blocks = share (k + 1) in
             Domain.spawn (fun () ->
-                let sc = make_scratch t.model in
-                let gsim =
-                  Goodsim.create ~levelize:t.model.Model.levelize
-                    t.model.Model.circuit
-                in
-                Goodsim.set_state gsim init_state;
-                run_worker t sc gsim view t0 ~blocks ~step_all:false))
+                match
+                  let sc = make_scratch t.model in
+                  let gsim =
+                    Goodsim.create ~levelize:t.model.Model.levelize
+                      t.model.Model.circuit
+                  in
+                  Goodsim.set_state gsim init_state;
+                  run_worker t sc gsim view t0 ~blocks ~step_all:false
+                with
+                | r -> Ok r
+                | exception e -> Error (e, Printexc.get_raw_backtrace ())))
       in
-      let d0, ws0 =
-        run_worker t t.scratch t.good view t0 ~blocks:(share 0) ~step_all:true
+      let main_result =
+        match
+          run_worker t t.scratch t.good view t0 ~blocks:(share 0)
+            ~step_all:true
+        with
+        | r -> Ok r
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
       in
       let results = Array.map Domain.join spawned in
+      let reraise = function
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Ok _ -> ()
+      in
+      reraise main_result;
+      Array.iter reraise results;
+      let unwrap = function Ok r -> r | Error _ -> assert false in
+      let d0, ws0 = unwrap main_result in
+      let results = Array.map unwrap results in
       let d = Array.fold_left (fun acc (dm, _) -> acc + dm) d0 results in
       t.detected <- t.detected + d;
       ws0 :: Array.to_list (Array.map snd results)
@@ -1112,24 +1161,24 @@ let effect_bits t =
 
 (* --------------------------------------------------------- conveniences *)
 
-let detection_times_view ?engine ?jobs model ~fault_ids view =
-  let s = create ?engine ?jobs model ~fault_ids in
+let detection_times_view ?engine ?jobs ?budget model ~fault_ids view =
+  let s = create ?engine ?jobs ?budget model ~fault_ids in
   advance_view s view;
   Array.map (fun fid -> s.det_time.(fid)) fault_ids
 
-let detection_times ?engine ?jobs model ~fault_ids seq =
-  detection_times_view ?engine ?jobs model ~fault_ids (View.of_seq seq)
+let detection_times ?engine ?jobs ?budget model ~fault_ids seq =
+  detection_times_view ?engine ?jobs ?budget model ~fault_ids (View.of_seq seq)
 
-let detects_single_view ?engine model ~fault ?start view =
+let detects_single_view ?engine ?budget model ~fault ?start view =
   let s =
     match start with
-    | None -> create ?engine model ~fault_ids:[| fault |]
+    | None -> create ?engine ?budget model ~fault_ids:[| fault |]
     | Some (good_state, faulty) ->
-      create ?engine ~good_state ~faulty_states:(fun _ -> faulty) model
+      create ?engine ?budget ~good_state ~faulty_states:(fun _ -> faulty) model
         ~fault_ids:[| fault |]
   in
   advance_view s view;
   detection_time s fault
 
-let detects_single ?engine model ~fault ?start seq =
-  detects_single_view ?engine model ~fault ?start (View.of_seq seq)
+let detects_single ?engine ?budget model ~fault ?start seq =
+  detects_single_view ?engine ?budget model ~fault ?start (View.of_seq seq)

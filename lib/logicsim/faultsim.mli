@@ -70,13 +70,20 @@ type stats = {
     (default {!Event}); [jobs] (default 1) bounds the number of domains the
     event engine may schedule fault groups across; [observe] (default
     [false]) additionally counts good-machine toggle / switching activity
-    into {!stats} and {!frame_toggles}. *)
+    into {!stats} and {!frame_toggles}.
+
+    [budget] (default {!Obs.Budget.unlimited}) is polled once per frame:
+    when it trips mid-{!advance}, fault machines freeze at the current
+    frame while the session's good machine still steps through the whole
+    view.  Degradation is sound — detections recorded before the trip are
+    exact, and frozen faults simply remain undetected. *)
 val create :
   ?good_state:Netlist.Logic.t array ->
   ?faulty_states:(int -> Netlist.Logic.t array) ->
   ?engine:engine ->
   ?jobs:int ->
   ?observe:bool ->
+  ?budget:Obs.Budget.t ->
   Faultmodel.Model.t ->
   fault_ids:int array ->
   t
@@ -136,6 +143,7 @@ val popcount : int -> int
 val detection_times :
   ?engine:engine ->
   ?jobs:int ->
+  ?budget:Obs.Budget.t ->
   Faultmodel.Model.t ->
   fault_ids:int array ->
   Vectors.t ->
@@ -144,6 +152,7 @@ val detection_times :
 val detection_times_view :
   ?engine:engine ->
   ?jobs:int ->
+  ?budget:Obs.Budget.t ->
   Faultmodel.Model.t ->
   fault_ids:int array ->
   Vectors.View.t ->
@@ -154,6 +163,7 @@ val detection_times_view :
     within [seq]. *)
 val detects_single :
   ?engine:engine ->
+  ?budget:Obs.Budget.t ->
   Faultmodel.Model.t ->
   fault:int ->
   ?start:Netlist.Logic.t array * Netlist.Logic.t array ->
@@ -162,8 +172,20 @@ val detects_single :
 
 val detects_single_view :
   ?engine:engine ->
+  ?budget:Obs.Budget.t ->
   Faultmodel.Model.t ->
   fault:int ->
   ?start:Netlist.Logic.t array * Netlist.Logic.t array ->
   Vectors.View.t ->
   int option
+
+(** {1 Fault-injection test instrumentation}
+
+    [set_block_hook f] installs a callback invoked once per {!advance} per
+    scheduled repack block with the block's canonical id, from whichever
+    domain owns the block.  A hook that raises exercises the parallel
+    error path: the session joins every sibling domain before re-raising
+    the first error (session domain first, then spawn order).  Not for
+    production use — reset with [clear_block_hook]. *)
+val set_block_hook : (int -> unit) -> unit
+val clear_block_hook : unit -> unit

@@ -1,7 +1,36 @@
-exception Parse_error of { line : int; message : string }
+exception
+  Parse_error of {
+    line : int;
+    col : int;
+    token : string;
+    message : string;
+  }
 
-let fail line fmt =
-  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+(* 1-based column of [token]'s first occurrence in the raw (unstripped)
+   source line, so reported positions survive the comment/whitespace
+   stripping the parser works on.  Falls back to column 1 when the token
+   cannot be located (e.g. it was synthesized by the parser). *)
+let find_col raw token =
+  let n = String.length raw and m = String.length token in
+  if m = 0 || m > n then 1
+  else begin
+    let col = ref 1 in
+    (try
+       for i = 0 to n - m do
+         if String.sub raw i m = token then begin
+           col := i + 1;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !col
+  end
+
+let fail ~line ~raw ~token fmt =
+  Format.kasprintf
+    (fun message ->
+      raise (Parse_error { line; col = find_col raw token; token; message }))
+    fmt
 
 let strip s =
   let is_space c = c = ' ' || c = '\t' || c = '\r' in
@@ -17,18 +46,23 @@ let strip_comment s =
   | None -> s
 
 (* "KIND(a, b, c)" -> (KIND, [a; b; c]) *)
-let parse_call lineno s =
+let parse_call ~lineno ~raw s =
   match String.index_opt s '(' with
-  | None -> fail lineno "expected '(' in %S" s
+  | None -> fail ~line:lineno ~raw ~token:s "expected '(' in %S" s
   | Some lp ->
-    if s.[String.length s - 1] <> ')' then fail lineno "expected ')' in %S" s;
+    if s.[String.length s - 1] <> ')' then
+      fail ~line:lineno ~raw ~token:s "expected ')' in %S" s;
     let head = strip (String.sub s 0 lp) in
     let inner = String.sub s (lp + 1) (String.length s - lp - 2) in
     let args =
       if strip inner = "" then []
       else List.map strip (String.split_on_char ',' inner)
     in
-    List.iter (fun a -> if a = "" then fail lineno "empty argument in %S" s) args;
+    List.iter
+      (fun a ->
+        if a = "" then
+          fail ~line:lineno ~raw ~token:s "empty argument in %S" s)
+      args;
     head, args
 
 let parse_string ~name text =
@@ -43,19 +77,27 @@ let parse_string ~name text =
         | Some eq ->
           let lhs = strip (String.sub line 0 eq) in
           let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
-          if lhs = "" then fail lineno "missing signal name";
-          let kind_s, args = parse_call lineno rhs in
+          if lhs = "" then
+            fail ~line:lineno ~raw ~token:"=" "missing signal name";
+          let kind_s, args = parse_call ~lineno ~raw rhs in
           (match Gate.of_string kind_s with
-           | Some Gate.Input -> fail lineno "INPUT cannot appear on a gate right-hand side"
+           | Some Gate.Input ->
+             fail ~line:lineno ~raw ~token:kind_s
+               "INPUT cannot appear on a gate right-hand side"
            | Some kind -> Circuit.Builder.add_gate b lhs kind args
-           | None -> fail lineno "unknown gate kind %S" kind_s)
+           | None ->
+             fail ~line:lineno ~raw ~token:kind_s "unknown gate kind %S" kind_s)
         | None ->
-          let head, args = parse_call lineno line in
+          let head, args = parse_call ~lineno ~raw line in
           (match String.uppercase_ascii head, args with
            | "INPUT", [ a ] -> Circuit.Builder.add_input b a
            | "OUTPUT", [ a ] -> Circuit.Builder.add_output b a
-           | ("INPUT" | "OUTPUT"), _ -> fail lineno "%s takes exactly one signal" head
-           | _ -> fail lineno "expected INPUT/OUTPUT declaration, got %S" head))
+           | ("INPUT" | "OUTPUT"), _ ->
+             fail ~line:lineno ~raw ~token:head "%s takes exactly one signal"
+               head
+           | _ ->
+             fail ~line:lineno ~raw ~token:head
+               "expected INPUT/OUTPUT declaration, got %S" head))
     lines;
   Circuit.Builder.build b
 
@@ -98,8 +140,4 @@ let to_string c =
     (Circuit.nodes c);
   Buffer.contents buf
 
-let write_file path c =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_string c))
+let write_file path c = Obs.Fileio.write_string path (to_string c)

@@ -9,7 +9,16 @@
     v}
     [KIND] is case-insensitive; [BUFF] is accepted for [BUF]. *)
 
-exception Parse_error of { line : int; message : string }
+(** [line] and [col] are 1-based positions in the source text ([col] points
+    into the raw line, before comment stripping); [token] is the offending
+    lexeme the position refers to. *)
+exception
+  Parse_error of {
+    line : int;
+    col : int;
+    token : string;
+    message : string;
+  }
 
 (** [parse_string ~name s] builds a circuit from [.bench] text.
     @raise Parse_error on malformed text.

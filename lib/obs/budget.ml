@@ -1,0 +1,98 @@
+type reason =
+  | Deadline
+  | Backtracks
+
+(* [tripped] is the single source of truth (0 live, 1 deadline,
+   2 backtracks): workers on other domains never probe the clock themselves,
+   they just read the flag.  [fuel] is a plain per-check countdown; races on
+   it are benign (a domain may probe the clock a little more or less often)
+   because only the atomic flag decides anything. *)
+type t = {
+  limited : bool;
+  deadline_ns : int;  (* absolute Clock.now_ns value; max_int = none *)
+  max_backtracks : int;  (* max_int = none *)
+  backtracks : int Atomic.t;
+  tripped_flag : int Atomic.t;
+  mutable fuel : int;
+}
+
+let stride = 64
+
+let unlimited =
+  {
+    limited = false;
+    deadline_ns = max_int;
+    max_backtracks = max_int;
+    backtracks = Atomic.make 0;
+    tripped_flag = Atomic.make 0;
+    fuel = max_int;
+  }
+
+let create ?deadline_s ?max_backtracks () =
+  let deadline_ns =
+    match deadline_s with
+    | None -> max_int
+    | Some s -> Clock.now_ns () + int_of_float (s *. 1e9)
+  in
+  {
+    limited = true;
+    deadline_ns;
+    max_backtracks = Option.value max_backtracks ~default:max_int;
+    backtracks = Atomic.make 0;
+    tripped_flag = Atomic.make 0;
+    (* First check probes the clock immediately, so even a zero deadline
+       trips on the very first safe point. *)
+    fuel = 1;
+  }
+
+let limited t = t.limited
+
+let trip t reason =
+  let v =
+    match reason with
+    | Deadline -> 1
+    | Backtracks -> 2
+  in
+  ignore (Atomic.compare_and_set t.tripped_flag 0 v)
+
+let tripped t =
+  match Atomic.get t.tripped_flag with
+  | 1 -> Some Deadline
+  | 2 -> Some Backtracks
+  | _ -> None
+
+let probe t =
+  if t.deadline_ns <> max_int && Clock.now_ns () >= t.deadline_ns then
+    trip t Deadline;
+  Atomic.get t.tripped_flag = 0
+
+let check t =
+  (not t.limited)
+  ||
+  if Atomic.get t.tripped_flag <> 0 then false
+  else begin
+    t.fuel <- t.fuel - 1;
+    if t.fuel > 0 then true
+    else begin
+      t.fuel <- stride;
+      probe t
+    end
+  end
+
+let expired t = not (check t)
+
+let add_backtracks t n =
+  if t.limited && n > 0 then begin
+    let total = Atomic.fetch_and_add t.backtracks n + n in
+    if total > t.max_backtracks then trip t Backtracks
+  end
+
+let backtracks t = Atomic.get t.backtracks
+
+let remaining_s t =
+  if not t.limited || t.deadline_ns = max_int then infinity
+  else Float.max 0.0 (Clock.to_s (t.deadline_ns - Clock.now_ns ()))
+
+let reason_to_string = function
+  | Deadline -> "deadline"
+  | Backtracks -> "backtracks"

@@ -1,0 +1,60 @@
+(** Cooperative cancellation / deadline token.
+
+    Every anytime phase of the pipeline (PODEM decisions, per-fault ATPG
+    attempts, fault-simulation frames, restoration and omission trials)
+    polls a shared budget at its safe points and winds down as soon as the
+    budget has tripped, leaving a valid best-so-far result.  Two ceilings
+    are supported: a wall-clock deadline (monotonic, via {!Clock}) and a
+    global backtrack count.
+
+    [check] is cheap enough for hot loops: one branch for the {!unlimited}
+    token, and for limited tokens one atomic load plus a strided clock
+    probe (every 64th call).  The tripped flag is an atomic, so simulation
+    worker domains observe a trip without probing the clock themselves;
+    once tripped, a budget stays tripped.
+
+    A budget with only [max_backtracks] is fully deterministic — the same
+    run trips at the same decision — while a wall-clock deadline is
+    inherently not; resume determinism is only promised for runs whose
+    budget never trips (see DESIGN.md §8). *)
+
+type reason =
+  | Deadline
+  | Backtracks
+
+type t
+
+(** The default everywhere: [check] is [true] forever, at the cost of one
+    branch. *)
+val unlimited : t
+
+(** [create ?deadline_s ?max_backtracks ()] starts the wall clock now.
+    Omitted ceilings are infinite. *)
+val create : ?deadline_s:float -> ?max_backtracks:int -> unit -> t
+
+(** [false] exactly for {!unlimited}. *)
+val limited : t -> bool
+
+(** [check t] is [true] while work may continue.  Hot-loop safe. *)
+val check : t -> bool
+
+(** [not (check t)]. *)
+val expired : t -> bool
+
+(** Why the budget tripped, once it has. *)
+val tripped : t -> reason option
+
+(** Force a trip (first reason wins). *)
+val trip : t -> reason -> unit
+
+(** [add_backtracks t n] charges [n] search backtracks against the global
+    ceiling, tripping the budget when it is exceeded. *)
+val add_backtracks : t -> int -> unit
+
+(** Total backtracks charged so far. *)
+val backtracks : t -> int
+
+(** Seconds until the deadline ([infinity] when none, [0.] when past). *)
+val remaining_s : t -> float
+
+val reason_to_string : reason -> string

@@ -1,0 +1,27 @@
+(* All files the CLI and bench harness write go through [write]: a crash or
+   kill mid-write can never leave a truncated or corrupt file at the final
+   path, because the data only appears there via an atomic rename of a
+   fully-written, fsynced temporary in the same directory. *)
+
+let write path f =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.temp_file ~temp_dir:dir
+      ("." ^ Filename.basename path ^ ".tmp")
+      ""
+  in
+  let ok = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !ok then Sys.remove tmp)
+    (fun () ->
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          f oc;
+          flush oc;
+          Unix.fsync (Unix.descr_of_out_channel oc));
+      Sys.rename tmp path;
+      ok := true)
+
+let write_string path s = write path (fun oc -> output_string oc s)

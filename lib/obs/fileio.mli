@@ -1,0 +1,14 @@
+(** Crash-safe file writing.
+
+    [write path f] runs [f] on an output channel for a temporary file in
+    [path]'s directory, fsyncs it, and renames it over [path].  Readers
+    either see the old contents or the complete new contents — never a
+    truncated or interleaved file.  On any exception the temporary is
+    removed and [path] is untouched.
+
+    Every file the CLI writes (metrics, traces, checkpoints, sequences,
+    tester programs, exported circuits, bench JSON) goes through here. *)
+
+val write : string -> (out_channel -> unit) -> unit
+
+val write_string : string -> string -> unit

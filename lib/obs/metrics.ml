@@ -76,8 +76,4 @@ let to_json t =
   Buffer.add_string b "\n  }\n}\n";
   Buffer.contents b
 
-let write_file t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_json t))
+let write_file t path = Fileio.write_string path (to_json t)

@@ -67,10 +67,7 @@ let span_to_json s =
   Buffer.contents b
 
 let write_jsonl t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
+  Fileio.write path (fun oc ->
       List.iter
         (fun s ->
           output_string oc (span_to_json s);

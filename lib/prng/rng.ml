@@ -25,6 +25,10 @@ let of_string seed label =
 
 let split t = create (next t)
 
+let state t = t.state
+
+let of_state s = { state = s }
+
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Keep 62 bits so the value stays non-negative in OCaml's 63-bit int. *)

@@ -15,6 +15,12 @@ val of_string : int64 -> string -> t
 (** [split t] derives an independent child stream, advancing [t]. *)
 val split : t -> t
 
+(** Snapshot of the stream position, for checkpointing.  [of_state
+    (state t)] continues exactly where [t] stood. *)
+val state : t -> int64
+
+val of_state : int64 -> t
+
 (** Next raw 64-bit value. *)
 val next : t -> int64
 

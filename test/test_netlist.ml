@@ -373,14 +373,30 @@ let test_bench_roundtrip_s27 () =
 let test_bench_parse_errors () =
   let expect_parse_error s =
     match Netlist.Bench_format.parse_string ~name:"t" s with
-    | exception Netlist.Bench_format.Parse_error _ -> ()
+    | exception Netlist.Bench_format.Parse_error e ->
+      Alcotest.(check bool) "line is 1-based" true (e.line >= 1);
+      Alcotest.(check bool) "col is 1-based" true (e.col >= 1);
+      Alcotest.(check bool) "message set" true (String.length e.message > 0)
     | _ -> Alcotest.fail "expected Parse_error"
   in
   expect_parse_error "INPUT(a";
   expect_parse_error "g = FOO(a)";
   expect_parse_error "g = ";
   expect_parse_error "INPUT(a, b)";
-  expect_parse_error "= AND(a, b)"
+  expect_parse_error "= AND(a, b)";
+  (* The error pinpoints the offending token in the raw source line. *)
+  let expect ~line ~col ~token s =
+    match Netlist.Bench_format.parse_string ~name:"t" s with
+    | exception Netlist.Bench_format.Parse_error e ->
+      Alcotest.(check int) "line" line e.line;
+      Alcotest.(check int) "col" col e.col;
+      Alcotest.(check string) "token" token e.token
+    | _ -> Alcotest.fail "expected Parse_error"
+  in
+  expect ~line:2 ~col:5 ~token:"NOPE" "INPUT(a)\nb = NOPE(a)\n";
+  expect ~line:3 ~col:3 ~token:"WIRE" "INPUT(a)\nOUTPUT(b)\n  WIRE(a)\n";
+  expect ~line:1 ~col:1 ~token:"INPUT" "INPUT(a, b)\n";
+  expect ~line:2 ~col:5 ~token:"INPUT" "INPUT(a)\nb = INPUT(a)\n"
 
 let test_bench_comments_and_blank () =
   let c =

@@ -1,0 +1,441 @@
+(* Resilience layer (DESIGN.md §8): budget tokens, atomic file writes,
+   checkpoint files, resume determinism at every interruption point,
+   degraded (budget-tripped) runs, and parallel-domain failure handling. *)
+
+module L = Netlist.Logic
+module Faultsim = Logicsim.Faultsim
+module Budget = Obs.Budget
+module Checkpoint = Core.Checkpoint
+
+let tmp name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "scanatpg_test_%d_%s" (Unix.getpid ()) name)
+
+(* -------------------------------------------------------------- budget *)
+
+let test_budget_unlimited () =
+  let b = Budget.unlimited in
+  Alcotest.(check bool) "not limited" false (Budget.limited b);
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "check passes" true (Budget.check b)
+  done;
+  Alcotest.(check bool) "never expired" false (Budget.expired b);
+  Alcotest.(check bool) "never tripped" true (Budget.tripped b = None)
+
+let test_budget_backtracks () =
+  let b = Budget.create ~max_backtracks:10 () in
+  Alcotest.(check bool) "limited" true (Budget.limited b);
+  Budget.add_backtracks b 10;
+  Alcotest.(check bool) "at ceiling still ok" true (Budget.check b);
+  Budget.add_backtracks b 1;
+  Alcotest.(check int) "counted" 11 (Budget.backtracks b);
+  Alcotest.(check bool) "over ceiling fails" false (Budget.check b);
+  Alcotest.(check bool) "reason recorded" true
+    (Budget.tripped b = Some Budget.Backtracks);
+  (* A second, independent token is unaffected. *)
+  let b2 = Budget.create ~max_backtracks:10 () in
+  Alcotest.(check bool) "fresh token ok" true (Budget.check b2)
+
+let test_budget_deadline_zero () =
+  let b = Budget.create ~deadline_s:0.0 () in
+  Alcotest.(check bool) "first safe point trips" true (Budget.expired b);
+  Alcotest.(check bool) "reason is deadline" true
+    (Budget.tripped b = Some Budget.Deadline);
+  Alcotest.(check bool) "stays tripped" true (Budget.expired b)
+
+let test_budget_trip_sticky () =
+  let b = Budget.create ~deadline_s:3600.0 () in
+  Alcotest.(check bool) "initially ok" true (Budget.check b);
+  Budget.trip b Budget.Backtracks;
+  Alcotest.(check bool) "manually tripped" false (Budget.check b);
+  (* First writer wins: a later deadline trip cannot change the reason. *)
+  Budget.trip b Budget.Deadline;
+  Alcotest.(check bool) "first reason kept" true
+    (Budget.tripped b = Some Budget.Backtracks)
+
+(* -------------------------------------------------------------- fileio *)
+
+let test_fileio_atomic_write () =
+  let path = tmp "fileio.txt" in
+  let dir = Filename.dirname path in
+  let siblings () =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f >= String.length (Filename.basename path)
+           && String.sub f 0 (String.length (Filename.basename path))
+              = Filename.basename path)
+  in
+  Obs.Fileio.write_string path "hello\n";
+  let ic = open_in path in
+  let got = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "content" "hello\n" got;
+  Alcotest.(check (list string)) "no temp residue" [ Filename.basename path ]
+    (siblings ());
+  (* Overwrite is atomic too: the old content is fully replaced. *)
+  Obs.Fileio.write_string path "v2\n";
+  let ic = open_in path in
+  let got = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "replaced" "v2\n" got;
+  Sys.remove path
+
+let test_fileio_failed_write_keeps_old () =
+  let path = tmp "fileio_fail.txt" in
+  Obs.Fileio.write_string path "original";
+  (try
+     Obs.Fileio.write path (fun _ -> failwith "boom");
+     Alcotest.fail "expected the writer to raise"
+   with Failure _ -> ());
+  let ic = open_in path in
+  let got = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "old content intact" "original" got;
+  Sys.remove path
+
+(* ---------------------------------------------------------- checkpoint *)
+
+let sample_cursor () =
+  {
+    Core.Flow.c_target_ids = [| 0; 1; 2 |];
+    c_pruned_redundant = 1;
+    c_next_fault = 2;
+    c_segments = [ [| [| L.One; L.Zero |] |] ];
+    c_rng_state = 0xDEADBEEFL;
+    c_by_random = 1;
+    c_by_atpg = 1;
+    c_by_drain = 0;
+    c_by_justify = 0;
+    c_aborted = [];
+    c_atpg_calls = 3;
+    c_atpg_decisions = 17;
+    c_atpg_backtracks = 2;
+  }
+
+let test_checkpoint_roundtrip () =
+  let path = tmp "ck_roundtrip" in
+  let fp =
+    Checkpoint.fingerprint ~circuit:"s27" ~scale:Circuits.Profiles.Quick
+      ~seed:42L ~chains:1
+  in
+  let stage = Checkpoint.Generating (sample_cursor ()) in
+  Checkpoint.save ~path ~fingerprint:fp stage;
+  let f = Checkpoint.load path in
+  Alcotest.(check string) "fingerprint" fp f.Checkpoint.fingerprint;
+  Alcotest.(check string) "stage name" "generating"
+    (Checkpoint.stage_name f.Checkpoint.stage);
+  (match f.Checkpoint.stage with
+   | Checkpoint.Generating c ->
+     Alcotest.(check int) "cursor next fault" 2 c.Core.Flow.c_next_fault;
+     Alcotest.(check bool) "cursor rng" true (c.Core.Flow.c_rng_state = 0xDEADBEEFL)
+   | Checkpoint.Phased _ -> Alcotest.fail "wrong stage");
+  Sys.remove path
+
+let test_checkpoint_corrupt () =
+  let expect_corrupt what path =
+    match Checkpoint.load path with
+    | _ -> Alcotest.failf "%s: expected Corrupt" what
+    | exception Checkpoint.Corrupt _ -> ()
+  in
+  let path = tmp "ck_corrupt" in
+  (* Missing file. *)
+  if Sys.file_exists path then Sys.remove path;
+  expect_corrupt "missing" path;
+  (* Truncated / garbage. *)
+  Obs.Fileio.write_string path "garbage";
+  expect_corrupt "garbage" path;
+  (* Wrong magic on an otherwise plausible file. *)
+  Obs.Fileio.write_string path "not-a-checkpoint/9\n0000000000000000\n";
+  expect_corrupt "magic" path;
+  (* Flip one payload byte of a valid file: checksum must catch it. *)
+  let fp =
+    Checkpoint.fingerprint ~circuit:"s27" ~scale:Circuits.Profiles.Quick
+      ~seed:42L ~chains:1
+  in
+  Checkpoint.save ~path ~fingerprint:fp
+    (Checkpoint.Generating (sample_cursor ()));
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string raw in
+  let i = Bytes.length b - 1 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+  Obs.Fileio.write_string path (Bytes.to_string b);
+  expect_corrupt "bitflip" path;
+  Sys.remove path
+
+let test_checkpoint_fingerprint_parts () =
+  let fp ~circuit ~scale ~seed ~chains =
+    Checkpoint.fingerprint ~circuit ~scale ~seed ~chains
+  in
+  let base = fp ~circuit:"s27" ~scale:Circuits.Profiles.Quick ~seed:1L ~chains:1 in
+  Alcotest.(check bool) "circuit matters" true
+    (base <> fp ~circuit:"s298" ~scale:Circuits.Profiles.Quick ~seed:1L ~chains:1);
+  Alcotest.(check bool) "scale matters" true
+    (base <> fp ~circuit:"s27" ~scale:Circuits.Profiles.Full ~seed:1L ~chains:1);
+  Alcotest.(check bool) "seed matters" true
+    (base <> fp ~circuit:"s27" ~scale:Circuits.Profiles.Quick ~seed:2L ~chains:1);
+  Alcotest.(check bool) "chains matter" true
+    (base <> fp ~circuit:"s27" ~scale:Circuits.Profiles.Quick ~seed:1L ~chains:2)
+
+(* ------------------------------------------------- flow resume (cursors) *)
+
+let seq_to_string seq =
+  String.concat "\n" (Array.to_list (Array.map Logicsim.Vectors.to_string seq))
+
+let flow_setup ?(random_phase = true) ~jobs name =
+  let c = Circuits.Catalog.circuit name in
+  let scan = Scanins.Scan.insert c in
+  let model = Faultmodel.Model.build scan.Scanins.Scan.circuit in
+  let cfg = Core.Config.with_sim_jobs jobs (Core.Config.for_circuit c) in
+  let cfg =
+    if random_phase then cfg else { cfg with Core.Config.random_phase = None }
+  in
+  let sk = Atpg.Scan_knowledge.create scan in
+  cfg, sk, model
+
+let counters_alist m =
+  List.sort compare (Obs.Counters.to_alist (Obs.Metrics.counters m))
+
+let check_flow_equal what (a : Core.Flow.stats) (b : Core.Flow.stats) =
+  Alcotest.(check string)
+    (what ^ ": sequence") (seq_to_string a.sequence) (seq_to_string b.sequence);
+  Alcotest.(check int) (what ^ ": detected") a.detected b.detected;
+  Alcotest.(check int) (what ^ ": by_random") a.by_random b.by_random;
+  Alcotest.(check int) (what ^ ": by_atpg") a.by_atpg b.by_atpg;
+  Alcotest.(check int) (what ^ ": by_drain") a.by_drain b.by_drain;
+  Alcotest.(check int) (what ^ ": by_justify") a.by_justify b.by_justify;
+  Alcotest.(check (array int))
+    (what ^ ": undetected") a.undetected b.undetected;
+  Alcotest.(check (array int))
+    (what ^ ": aborted") a.aborted_faults b.aborted_faults
+
+(* Run the flow once collecting a cursor at every fault boundary, then
+   resume from EVERY cursor and demand bit-identical stats, sequence and
+   jobs-invariant counters. *)
+let flow_resume_determinism ~jobs name () =
+  (* The random phase alone detects everything in the smallest circuits;
+     disable it so generation actually commits per-fault subsequences and
+     produces mid-generation cursors. *)
+  let cfg, sk, model = flow_setup ~random_phase:false ~jobs name in
+  let cursors = ref [] in
+  let ref_metrics = Obs.Metrics.create () in
+  let reference =
+    Core.Flow.generate ~metrics:ref_metrics ~checkpoint_every:1
+      ~on_checkpoint:(fun c -> cursors := c :: !cursors)
+      cfg sk model
+  in
+  let cursors = List.rev !cursors in
+  Alcotest.(check bool) "captured mid-generation cursors" true
+    (List.length cursors > 0);
+  List.iteri
+    (fun i cursor ->
+      let m = Obs.Metrics.create () in
+      let resumed = Core.Flow.generate ~metrics:m ~resume:cursor cfg sk model in
+      let what = Printf.sprintf "%s jobs=%d cursor#%d" name jobs i in
+      check_flow_equal what reference resumed;
+      Alcotest.(check (list (pair string int)))
+        (what ^ ": counters") (counters_alist ref_metrics) (counters_alist m))
+    cursors
+
+(* ------------------------------------------- pipeline resume (boundaries) *)
+
+let pipeline_config ~jobs name =
+  let c = Circuits.Catalog.circuit name in
+  Core.Config.with_sim_jobs jobs (Core.Config.for_circuit c)
+
+let check_result_equal what (a : Core.Pipeline.result) (b : Core.Pipeline.result) =
+  Alcotest.(check bool) (what ^ ": row5") true (a.row5 = b.row5);
+  Alcotest.(check bool) (what ^ ": row6") true (a.row6 = b.row6);
+  Alcotest.(check bool) (what ^ ": row7") true (a.row7 = b.row7);
+  Alcotest.(check bool) (what ^ ": not degraded") false
+    (a.degraded || b.degraded);
+  Alcotest.(check (list (pair string int)))
+    (what ^ ": counters") (counters_alist a.metrics) (counters_alist b.metrics)
+
+let pipeline_resume_determinism ~jobs name () =
+  let reference =
+    Core.Pipeline.run ~config:(pipeline_config ~jobs:1 name) name
+  in
+  List.iter
+    (fun phase ->
+      let path = tmp (Printf.sprintf "ck_%s_%s_%d" name phase jobs) in
+      if Sys.file_exists path then Sys.remove path;
+      (match
+         Core.Pipeline.run
+           ~config:(pipeline_config ~jobs name)
+           ~checkpoint:path ~halt_after:phase name
+       with
+       | _ -> Alcotest.failf "halt_after %s did not halt" phase
+       | exception Core.Pipeline.Halted p ->
+         Alcotest.(check string) "halted at requested phase" phase p);
+      let resumed =
+        Core.Pipeline.run
+          ~config:(pipeline_config ~jobs name)
+          ~checkpoint:path ~resume:(Checkpoint.load path) name
+      in
+      check_result_equal
+        (Printf.sprintf "%s jobs=%d resume@%s" name jobs phase)
+        reference resumed;
+      Sys.remove path)
+    [ "generate"; "compact"; "extra-detect"; "baseline" ]
+
+let test_pipeline_resume_wrong_fingerprint () =
+  let path = tmp "ck_wrong_fp" in
+  (match
+     Core.Pipeline.run ~config:(pipeline_config ~jobs:1 "s27") ~checkpoint:path
+       ~halt_after:"generate" "s27"
+   with
+  | _ -> Alcotest.fail "expected Halted"
+  | exception Core.Pipeline.Halted _ -> ());
+  let f = Checkpoint.load path in
+  (* Same checkpoint, different run (seed differs): must be rejected. *)
+  let cfg = { (pipeline_config ~jobs:1 "s27") with Core.Config.seed = 999L } in
+  (match Core.Pipeline.run ~config:cfg ~resume:f "s27" with
+  | _ -> Alcotest.fail "fingerprint mismatch accepted"
+  | exception Checkpoint.Corrupt _ -> ());
+  Sys.remove path
+
+(* ------------------------------------------------------- degraded runs *)
+
+let test_pipeline_degraded_deadline () =
+  let budget = Budget.create ~deadline_s:0.0 () in
+  let r = Core.Pipeline.run ~config:(pipeline_config ~jobs:1 "s27") ~budget "s27" in
+  Alcotest.(check bool) "degraded" true r.Core.Pipeline.degraded;
+  Alcotest.(check bool) "budget tripped" true (Budget.tripped budget <> None);
+  (* The result is still well-formed: rows rendered, stats consistent. *)
+  Alcotest.(check bool) "row rendering works" true
+    (String.length (Core.Report.table5 [ r.Core.Pipeline.row5 ]) > 0);
+  let f = r.Core.Pipeline.flow in
+  Alcotest.(check bool) "detected <= targeted" true
+    (f.Core.Flow.detected <= f.Core.Flow.targeted);
+  (* The trip point is recorded in telemetry. *)
+  let tripped_counters =
+    List.filter
+      (fun (k, _) -> String.length k > 15 && String.sub k 0 15 = "budget.tripped.")
+      (counters_alist r.Core.Pipeline.metrics)
+  in
+  Alcotest.(check bool) "budget.tripped.<phase> counter" true
+    (List.length tripped_counters = 1)
+
+let test_flow_degraded_aborts_are_sound () =
+  (* A tiny backtrack ceiling forces aborted faults on s298; every aborted
+     fault must still be listed undetected (degradation never fabricates a
+     detection), and the flow must terminate. *)
+  let cfg, sk, model = flow_setup ~jobs:1 "s298" in
+  let budget = Budget.create ~max_backtracks:1 () in
+  let s = Core.Flow.generate ~budget cfg sk model in
+  let undet = Array.to_list s.Core.Flow.undetected in
+  Array.iter
+    (fun fid ->
+      Alcotest.(check bool) "aborted fault is undetected" true
+        (List.mem fid undet))
+    s.Core.Flow.aborted_faults;
+  Alcotest.(check bool) "accounting holds" true
+    (s.Core.Flow.detected + Array.length s.Core.Flow.undetected
+     = s.Core.Flow.targeted)
+
+(* -------------------------------------- parallel-domain failure handling *)
+
+exception Poison of int
+
+let test_faultsim_worker_failure_propagates () =
+  (* s5378 (quick) has thousands of faults, so the session spans several
+     repack blocks; poisoning block 1 kills a spawned worker domain at
+     jobs=3.  The error must surface on the calling domain (after every
+     domain was joined) instead of hanging or vanishing. *)
+  let c = Circuits.Catalog.circuit "s5378" in
+  let scan = Scanins.Scan.insert c in
+  let model = Faultmodel.Model.build scan.Scanins.Scan.circuit in
+  let nf = Faultmodel.Model.fault_count model in
+  Alcotest.(check bool) "enough faults for two blocks" true (nf > 496);
+  let width =
+    Array.length (Netlist.Circuit.inputs scan.Scanins.Scan.circuit)
+  in
+  let seq = Array.init 3 (fun _ -> Array.make width L.Zero) in
+  let run () =
+    let s =
+      Faultsim.create ~jobs:3 model ~fault_ids:(Array.init nf Fun.id)
+    in
+    Faultsim.advance s seq
+  in
+  Faultsim.set_block_hook (fun bid -> if bid = 1 then raise (Poison bid));
+  Fun.protect
+    ~finally:(fun () -> Faultsim.clear_block_hook ())
+    (fun () ->
+      match run () with
+      | () -> Alcotest.fail "poisoned worker error was swallowed"
+      | exception Poison 1 -> ());
+  (* With the hook cleared the same session runs normally. *)
+  run ()
+
+let test_faultsim_sequential_failure_propagates () =
+  let cfg, _, model = flow_setup ~jobs:1 "s27" in
+  ignore cfg;
+  let nf = Faultmodel.Model.fault_count model in
+  let width =
+    Array.length (Netlist.Circuit.inputs model.Faultmodel.Model.circuit)
+  in
+  let seq = [| Array.make width L.Zero |] in
+  Faultsim.set_block_hook (fun bid -> if bid = 0 then raise (Poison bid));
+  Fun.protect
+    ~finally:(fun () -> Faultsim.clear_block_hook ())
+    (fun () ->
+      let s = Faultsim.create ~jobs:1 model ~fault_ids:(Array.init nf Fun.id) in
+      match Faultsim.advance s seq with
+      | () -> Alcotest.fail "poisoned block error was swallowed"
+      | exception Poison 0 -> ())
+
+(* ----------------------------------------------------------------- run *)
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "unlimited" `Quick test_budget_unlimited;
+          Alcotest.test_case "backtrack ceiling" `Quick test_budget_backtracks;
+          Alcotest.test_case "zero deadline" `Quick test_budget_deadline_zero;
+          Alcotest.test_case "trip is sticky" `Quick test_budget_trip_sticky;
+        ] );
+      ( "fileio",
+        [
+          Alcotest.test_case "atomic write" `Quick test_fileio_atomic_write;
+          Alcotest.test_case "failed write keeps old file" `Quick
+            test_fileio_failed_write_keeps_old;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "corruption detected" `Quick test_checkpoint_corrupt;
+          Alcotest.test_case "fingerprint parts" `Quick
+            test_checkpoint_fingerprint_parts;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "flow cursors s27 jobs=1" `Quick
+            (flow_resume_determinism ~jobs:1 "s27");
+          Alcotest.test_case "flow cursors s27 jobs=3" `Quick
+            (flow_resume_determinism ~jobs:3 "s27");
+          Alcotest.test_case "pipeline boundaries s27 jobs=1" `Quick
+            (pipeline_resume_determinism ~jobs:1 "s27");
+          Alcotest.test_case "pipeline boundaries s27 jobs=3" `Quick
+            (pipeline_resume_determinism ~jobs:3 "s27");
+          Alcotest.test_case "fingerprint mismatch rejected" `Quick
+            test_pipeline_resume_wrong_fingerprint;
+        ] );
+      ( "degraded",
+        [
+          Alcotest.test_case "pipeline under zero deadline" `Quick
+            test_pipeline_degraded_deadline;
+          Alcotest.test_case "flow abort soundness" `Quick
+            test_flow_degraded_aborts_are_sound;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "worker failure propagates (jobs=3)" `Quick
+            test_faultsim_worker_failure_propagates;
+          Alcotest.test_case "sequential failure propagates" `Quick
+            test_faultsim_sequential_failure_propagates;
+        ] );
+    ]
