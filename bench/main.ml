@@ -24,6 +24,7 @@ type options = {
   mutable kernels : bool;
   mutable jobs : int;
   mutable json : string;
+  mutable json3 : string;
 }
 
 let parse_args () =
@@ -36,6 +37,7 @@ let parse_args () =
       kernels = true;
       jobs = max 1 (min 8 (Domain.recommended_domain_count () - 1));
       json = "BENCH_2.json";
+      json3 = "BENCH_3.json";
     }
   in
   let rec go = function
@@ -63,6 +65,9 @@ let parse_args () =
       go rest
     | "--json" :: v :: rest ->
       o.json <- v;
+      go rest
+    | "--json3" :: v :: rest ->
+      o.json3 <- v;
       go rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
@@ -393,6 +398,90 @@ let faultsim_compare ~scale =
   print_newline ();
   rows
 
+(* -------------------- speculative compaction comparison (BENCH_3.json) *)
+
+(* Sequential (compact_jobs=1) vs speculative (compact_jobs=4) static
+   compaction on the two largest quick-scale profiles.  Also the acceptance
+   check that both kernels agree: byte-identical sequences and identical
+   omission stats at any jobs (DESIGN.md §10).  On a single-core host the
+   speculative figures include the full dispatch overhead without any
+   parallel payoff — the recorded numbers are honest, not projected. *)
+
+type compaction_row = {
+  cb_circuit : string;
+  cb_frames : int;
+  cb_faults : int;
+  cb_omitted_len : int;
+  cb_spec_jobs : int;
+  cb_omit_seq_s : float;
+  cb_omit_spec_s : float;
+  cb_rest_seq_s : float;
+  cb_rest_spec_s : float;
+}
+
+let compaction_compare ~scale =
+  print_endline
+    "--- Static compaction: sequential vs speculative (DESIGN.md \xc2\xa710) ---";
+  print_endline
+    "circ        faults  frames  omit1(s)  omitK(s)  speedup  rest1(s)  restK(s)  jobs";
+  let spec_jobs = 4 in
+  let seq_key s =
+    String.concat "\n" (Array.to_list (Array.map Logicsim.Vectors.to_string s))
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let c = Circuits.Catalog.circuit ~scale name in
+        let scan = Scanins.Scan.insert c in
+        let model = Faultmodel.Model.build scan.Scanins.Scan.circuit in
+        let rng = Prng.Rng.create 42L in
+        let width = Netlist.Circuit.input_count scan.Scanins.Scan.circuit in
+        let frames = 120 in
+        let seq = Logicsim.Vectors.random_seq rng ~width ~length:frames in
+        let ids = Array.init (Faultmodel.Model.fault_count model) Fun.id in
+        let targets = Compaction.Target.compute model seq ~fault_ids:ids in
+        let omit jobs =
+          let cfg = { Compaction.Omission.default_config with jobs } in
+          let s, _, st = Compaction.Omission.run model seq targets cfg in
+          s, st
+        in
+        let o1 = ref None and ok = ref None in
+        let omit_seq_s = best_of 2 (fun () -> o1 := Some (omit 1)) in
+        let omit_spec_s = best_of 2 (fun () -> ok := Some (omit spec_jobs)) in
+        let s1, st1 = Option.get !o1 and sk, stk = Option.get !ok in
+        if seq_key s1 <> seq_key sk || st1 <> stk then
+          failwith
+            (Printf.sprintf
+               "speculative omission disagreement on %s: compact_jobs=%d \
+                diverges from the sequential kernel"
+               name spec_jobs);
+        let rest jobs = Compaction.Restoration.run ~jobs model seq targets in
+        let r1 = ref [||] and rk = ref [||] in
+        let rest_seq_s = best_of 2 (fun () -> r1 := rest 1) in
+        let rest_spec_s = best_of 2 (fun () -> rk := rest spec_jobs) in
+        if seq_key !r1 <> seq_key !rk then
+          failwith
+            (Printf.sprintf "speculative restoration disagreement on %s" name);
+        Printf.printf "%-10s %7d %7d %9.3f %9.3f %8.2fx %9.3f %9.3f %5d\n%!"
+          name (Array.length ids) frames omit_seq_s omit_spec_s
+          (omit_seq_s /. omit_spec_s)
+          rest_seq_s rest_spec_s spec_jobs;
+        {
+          cb_circuit = name;
+          cb_frames = frames;
+          cb_faults = Array.length ids;
+          cb_omitted_len = Array.length s1;
+          cb_spec_jobs = spec_jobs;
+          cb_omit_seq_s = omit_seq_s;
+          cb_omit_spec_s = omit_spec_s;
+          cb_rest_seq_s = rest_seq_s;
+          cb_rest_spec_s = rest_spec_s;
+        })
+      compare_circuits
+  in
+  print_newline ();
+  rows
+
 (* ----------------------------------------------------- bechamel kernels *)
 
 let kernels () =
@@ -592,6 +681,33 @@ let write_bench_json path ~scale ~jobs ~total_wall_s ~pipelines ~engines
   Obs.Fileio.write_string path (Buffer.contents b);
   Printf.printf "wrote %s\n%!" path
 
+let write_bench3_json path ~scale ~rows =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"scanatpg-bench/3\",\n";
+  add "  \"scale\": \"%s\",\n" (json_escape scale);
+  add "  \"compaction\": [\n%s\n  ]\n"
+    (String.concat ",\n"
+       (List.map
+          (fun r ->
+            Printf.sprintf
+              "    {\"circuit\": \"%s\", \"frames\": %d, \"faults\": %d, \
+               \"omitted_len\": %d, \"speculative_jobs\": %d, \
+               \"omission_sequential_s\": %.6f, \
+               \"omission_speculative_s\": %.6f, \
+               \"omission_speedup\": %.3f, \
+               \"restoration_sequential_s\": %.6f, \
+               \"restoration_speculative_s\": %.6f}"
+              (json_escape r.cb_circuit) r.cb_frames r.cb_faults
+              r.cb_omitted_len r.cb_spec_jobs r.cb_omit_seq_s r.cb_omit_spec_s
+              (r.cb_omit_seq_s /. r.cb_omit_spec_s)
+              r.cb_rest_seq_s r.cb_rest_spec_s)
+          rows));
+  add "}\n";
+  Obs.Fileio.write_string path (Buffer.contents b);
+  Printf.printf "wrote %s\n%!" path
+
 (* ----------------------------------------------------------------- main *)
 
 let () =
@@ -644,9 +760,15 @@ let () =
     ablation_chains ()
   end;
   let engines = if o.kernels then faultsim_compare ~scale:o.scale else [] in
+  let compaction_rows =
+    if o.kernels then compaction_compare ~scale:o.scale else []
+  in
   let kernel_rows = if o.kernels then kernels () else [] in
-  write_bench_json o.json
-    ~scale:(match o.scale with Circuits.Profiles.Quick -> "quick" | _ -> "full")
-    ~jobs:o.jobs
+  let scale_name =
+    match o.scale with Circuits.Profiles.Quick -> "quick" | _ -> "full"
+  in
+  write_bench_json o.json ~scale:scale_name ~jobs:o.jobs
     ~total_wall_s:(Obs.Clock.to_s (Obs.Clock.elapsed_ns t0))
-    ~pipelines:timed_results ~engines ~kernel_rows
+    ~pipelines:timed_results ~engines ~kernel_rows;
+  if compaction_rows <> [] then
+    write_bench3_json o.json3 ~scale:scale_name ~rows:compaction_rows

@@ -65,6 +65,15 @@ let jobs_arg =
         ~doc:"Fault-simulation parallelism (OCaml domains). Results are \
               identical at any value; see DESIGN.md \xc2\xa76.")
 
+let compact_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "compact-jobs" ] ~docv:"N"
+        ~doc:"Static-compaction parallelism: speculative trial evaluation \
+              across OCaml domains in omission rounds and restoration \
+              waves. Results are identical at any value; see DESIGN.md \
+              \xc2\xa710.")
+
 let metrics_arg =
   Arg.(
     value & opt (some string) None
@@ -104,27 +113,39 @@ let read_sequence path =
        with End_of_file -> ());
       Array.of_list (List.rev !acc))
 
-let setup_scan ~chains ~seed ~jobs ?(observe = false) circuit =
+let setup_scan ~chains ~seed ~jobs ?(compact_jobs = 1) ?(observe = false)
+    circuit =
   let scan = Scanins.Scan.insert ~chains circuit in
   let model = Faultmodel.Model.build scan.Scanins.Scan.circuit in
   let cfg =
-    Core.Config.with_sim_jobs jobs
-      { (Core.Config.for_circuit circuit) with Core.Config.chains; seed; observe }
+    Core.Config.with_compact_jobs compact_jobs
+      (Core.Config.with_sim_jobs jobs
+         { (Core.Config.for_circuit circuit) with
+           Core.Config.chains; seed; observe })
   in
   scan, model, cfg
 
 let compact_seq cfg model seq targets ~metrics ~trace =
+  let spec = Compaction.Spec.make () in
   let restored, targets_r =
     Obs.Metrics.timed metrics ~trace "restore" (fun () ->
-        let restored = Compaction.Restoration.run model seq targets in
+        let restored =
+          Compaction.Restoration.run ~jobs:cfg.Core.Config.compact_jobs ~spec
+            model seq targets
+        in
         let targets_r =
           Compaction.Target.compute model restored
             ~fault_ids:targets.Compaction.Target.fault_ids
         in
         restored, targets_r)
   in
-  Obs.Metrics.timed metrics ~trace "omit" (fun () ->
-      Compaction.Omission.run model restored targets_r cfg.Core.Config.omission)
+  let result =
+    Obs.Metrics.timed metrics ~trace "omit" (fun () ->
+        Compaction.Omission.run ~metrics ~trace ~spec model restored targets_r
+          cfg.Core.Config.omission)
+  in
+  Compaction.Spec.record spec (Obs.Metrics.counters metrics);
+  result
 
 let omission_summary (o : Compaction.Omission.stats) =
   Printf.sprintf "omission: %d trials, %d accepted, %d rejected, %d vectors removed in %d passes"
@@ -226,11 +247,13 @@ let generate_cmd =
           ~doc:"Also count good-machine toggle / switching activity \
                 (reported via --metrics).")
   in
-  let run spec scale seed chains jobs no_compact out tester observe
-      metrics_path trace_path =
+  let run spec scale seed chains jobs compact_jobs no_compact out tester
+      observe metrics_path trace_path =
     with_obs ~metrics_path ~trace_path (fun metrics trace ->
         let c = load_circuit ~scale spec in
-        let scan, model, cfg = setup_scan ~chains ~seed ~jobs ~observe c in
+        let scan, model, cfg =
+          setup_scan ~chains ~seed ~jobs ~compact_jobs ~observe c
+        in
         let sk = Atpg.Scan_knowledge.create scan in
         let flow =
           Obs.Metrics.timed metrics ~trace "generate" (fun () ->
@@ -280,7 +303,8 @@ let generate_cmd =
        ~doc:"Generate (and compact) a unified test sequence for a circuit.")
     Term.(
       const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ jobs_arg
-      $ no_compact $ out_arg $ tester_arg $ observe $ metrics_arg $ trace_arg)
+      $ compact_jobs_arg $ no_compact $ out_arg $ tester_arg $ observe
+      $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------- compact *)
 
@@ -291,10 +315,11 @@ let compact_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"SEQFILE" ~doc:"Sequence file (one 01x vector per line).")
   in
-  let run spec scale seed chains jobs seqfile out metrics_path trace_path =
+  let run spec scale seed chains jobs compact_jobs seqfile out metrics_path
+      trace_path =
     with_obs ~metrics_path ~trace_path (fun metrics trace ->
         let c = load_circuit ~scale spec in
-        let scan, model, cfg = setup_scan ~chains ~seed ~jobs c in
+        let scan, model, cfg = setup_scan ~chains ~seed ~jobs ~compact_jobs c in
         let seq = read_sequence seqfile in
         let nf = Faultmodel.Model.fault_count model in
         let targets =
@@ -322,7 +347,7 @@ let compact_cmd =
        ~doc:"Statically compact a test sequence (restoration, then omission).")
     Term.(
       const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ jobs_arg
-      $ seq_arg $ out_arg $ metrics_arg $ trace_arg)
+      $ compact_jobs_arg $ seq_arg $ out_arg $ metrics_arg $ trace_arg)
 
 (* --------------------------------------------------------------- table *)
 
@@ -355,15 +380,17 @@ let table_cmd =
           ~doc:"Also count good-machine toggle / switching activity \
                 (reported via --metrics).")
   in
-  let run which names scale csv jobs verbose observe metrics_path trace_path =
+  let run which names scale csv jobs compact_jobs verbose observe metrics_path
+      trace_path =
     with_obs ~metrics_path ~trace_path (fun metrics trace ->
         let results =
           List.map
             (fun n ->
               let c = Circuits.Catalog.circuit ~scale n in
               let config =
-                Core.Config.with_sim_jobs jobs
-                  { (Core.Config.for_circuit c) with Core.Config.observe }
+                Core.Config.with_compact_jobs compact_jobs
+                  (Core.Config.with_sim_jobs jobs
+                     { (Core.Config.for_circuit c) with Core.Config.observe })
               in
               Core.Pipeline.run ~scale ~config ~metrics ~trace n)
             names
@@ -395,7 +422,7 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Regenerate rows of the paper's Tables 5-7.")
     Term.(
       const run $ which_arg $ circuits_arg $ scale_arg $ csv_arg $ jobs_arg
-      $ verbose_arg $ observe_arg $ metrics_arg $ trace_arg)
+      $ compact_jobs_arg $ verbose_arg $ observe_arg $ metrics_arg $ trace_arg)
 
 (* ----------------------------------------------------------------- run *)
 
@@ -457,13 +484,15 @@ let run_cmd =
           ~doc:"Also count good-machine toggle / switching activity \
                 (reported via --metrics).")
   in
-  let run spec scale seed chains jobs observe deadline backtracks checkpoint
-      resume every halt_after metrics_path trace_path =
+  let run spec scale seed chains jobs compact_jobs observe deadline backtracks
+      checkpoint resume every halt_after metrics_path trace_path =
     with_obs ~metrics_path ~trace_path (fun metrics trace ->
         let c = Circuits.Catalog.circuit ~scale spec in
         let config =
-          Core.Config.with_sim_jobs jobs
-            { (Core.Config.for_circuit c) with Core.Config.chains; seed; observe }
+          Core.Config.with_compact_jobs compact_jobs
+            (Core.Config.with_sim_jobs jobs
+               { (Core.Config.for_circuit c) with
+                 Core.Config.chains; seed; observe })
         in
         let budget =
           match deadline, backtracks with
@@ -514,8 +543,9 @@ let run_cmd =
              deadline, checkpointing and resume (see DESIGN.md, Resilience).")
     Term.(
       const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ jobs_arg
-      $ observe_arg $ deadline_arg $ backtracks_arg $ checkpoint_arg
-      $ resume_arg $ every_arg $ halt_arg $ metrics_arg $ trace_arg)
+      $ compact_jobs_arg $ observe_arg $ deadline_arg $ backtracks_arg
+      $ checkpoint_arg $ resume_arg $ every_arg $ halt_arg $ metrics_arg
+      $ trace_arg)
 
 (* ---------------------------------------------------------------- main *)
 

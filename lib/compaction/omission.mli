@@ -10,7 +10,17 @@
     before the trial vector, so each trial only re-simulates the faults
     whose detection could be affected (those detected at or after the trial
     position) over the suffix, with a small-window pre-check that rejects
-    most failing trials cheaply. *)
+    most failing trials cheaply.
+
+    With [jobs > 1] trials are evaluated speculatively: each round
+    dispatches the next [jobs] candidate positions to worker domains, every
+    worker probing against one shared {!Logicsim.Faultsim.snapshot} of the
+    main session, and results are committed left to right — the leftmost
+    acceptance wins, results beyond it are discarded (see DESIGN.md §10).
+    The committed trace replays the sequential one verbatim, so the final
+    sequence, detection times and {!stats} are bit-identical at any [jobs]
+    setting; only the [compaction.speculative.*] counters reflect the
+    actual dispatch. *)
 
 type config = {
   max_passes : int;  (** passes over the sequence (fixpoint cut-off) *)
@@ -21,8 +31,10 @@ type config = {
       this many frames of its previous detection point — conservative, but
       it bounds each trial's simulation cost *)
   jobs : int;
-  (** simulation domains per probe session (see [Faultsim.create]);
-      results are schedule-independent *)
+  (** compaction parallelism, end to end: the number of speculative
+      trials dispatched per round, the main replay session's simulation
+      domains, and (on the sequential path) the domains of each probe
+      session.  Results are schedule-independent. *)
 }
 
 val default_config : config
@@ -42,10 +54,16 @@ type stats = {
 (** [run model seq targets config] returns the compacted sequence together
     with the targets' detection times in it and the run's trial
     statistics.  [budget] (default {!Obs.Budget.unlimited}) is polled at
-    every trial boundary: a trip ends the run with the best sequence found
-    so far, which is always a valid test for every target. *)
+    every round boundary: a trip ends the run with the best sequence found
+    so far, which is always a valid test for every target.  [metrics]
+    (with optional [trace]) records one [omit.pass<n>] span per executed
+    pass; [spec], when given, accumulates the speculative-dispatch
+    counters (see {!Spec.counters}). *)
 val run :
   ?budget:Obs.Budget.t ->
+  ?metrics:Obs.Metrics.t ->
+  ?trace:Obs.Trace.t ->
+  ?spec:Spec.counters ->
   Faultmodel.Model.t ->
   Logicsim.Vectors.t ->
   Target.t ->

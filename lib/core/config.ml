@@ -9,6 +9,7 @@ type t = {
   omission : Compaction.Omission.config;
   chains : int;
   sim_jobs : int;
+  compact_jobs : int;
   observe : bool;
 }
 
@@ -24,6 +25,7 @@ let default =
     omission = Compaction.Omission.default_config;
     chains = 1;
     sim_jobs = 1;
+    compact_jobs = 1;
     observe = false;
   }
 
@@ -31,6 +33,10 @@ let for_circuit c = { default with atpg = Atpg.Seq_atpg.config_for c }
 
 let with_sim_jobs jobs cfg =
   let jobs = max 1 jobs in
+  { cfg with sim_jobs = jobs }
+
+let with_compact_jobs jobs cfg =
+  let jobs = max 1 jobs in
   { cfg with
-    sim_jobs = jobs;
+    compact_jobs = jobs;
     omission = { cfg.omission with Compaction.Omission.jobs } }

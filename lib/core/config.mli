@@ -20,6 +20,10 @@ type t = {
   sim_jobs : int;
   (** domains the fault simulator may schedule fault groups across
       (default 1 = sequential; results are identical at any value) *)
+  compact_jobs : int;
+  (** domains static compaction may speculate trial evaluations across —
+      omission rounds and restoration waves (default 1 = sequential;
+      results are identical at any value, see DESIGN.md §10) *)
   observe : bool;
   (** count good-machine toggle / switching activity in the flow's main
       simulation session (default [false]; small extra per-frame cost) *)
@@ -31,7 +35,13 @@ val default : t
     depth. *)
 val for_circuit : Netlist.Circuit.t -> t
 
-(** [with_sim_jobs n cfg] sets the simulation parallelism knob everywhere it
-    matters: the flow's main session, target bookkeeping and the omission
-    probes. *)
+(** [with_sim_jobs n cfg] sets the simulation parallelism knob: the flow's
+    main session and target bookkeeping.  Compaction parallelism is a
+    separate knob — see {!with_compact_jobs}. *)
 val with_sim_jobs : int -> t -> t
+
+(** [with_compact_jobs n cfg] sets the compaction parallelism knob
+    everywhere it matters: speculative omission rounds (including the main
+    replay session and probe sessions, via [omission.jobs]) and
+    restoration's wave evaluation. *)
+val with_compact_jobs : int -> t -> t

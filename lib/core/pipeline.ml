@@ -76,10 +76,15 @@ let zero_omit_stats =
    targets, whereas restoration and omission degrade to a valid (merely
    longer) sequence. *)
 let compact cfg model seq targets ~metrics ~trace ~rstats ~budget =
+  (* Speculative-dispatch accounting for both procedures, folded into the
+     metrics counters below — i.e. before any checkpoint captures them, so
+     a resumed run reports the same totals as an uninterrupted one. *)
+  let spec = Compaction.Spec.make () in
   let restored, targets_r =
     Obs.Metrics.timed metrics ~trace "restore" (fun () ->
         let restored =
-          Compaction.Restoration.run ~stats:rstats ~budget model seq targets
+          Compaction.Restoration.run ~stats:rstats ~budget
+            ~jobs:cfg.Config.compact_jobs ~spec model seq targets
         in
         let targets_r =
           Compaction.Target.compute ~jobs:cfg.Config.sim_jobs model restored
@@ -96,9 +101,11 @@ let compact cfg model seq targets ~metrics ~trace ~rstats ~budget =
   in
   let omitted, _, ostats =
     Obs.Metrics.timed metrics ~trace "omit" (fun () ->
-        Compaction.Omission.run ~budget model restored targets_r omission)
+        Compaction.Omission.run ~budget ~metrics ~trace ~spec model restored
+          targets_r omission)
   in
   let c = Obs.Metrics.counters metrics in
+  Compaction.Spec.record spec c;
   Obs.Counters.add c "omit.trials" ostats.Compaction.Omission.trials;
   Obs.Counters.add c "omit.accepted" ostats.Compaction.Omission.accepted;
   Obs.Counters.add c "omit.rejected" ostats.Compaction.Omission.rejected;

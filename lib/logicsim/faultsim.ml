@@ -1159,6 +1159,83 @@ let effect_bits t =
     t.groups;
   !total
 
+(* ------------------------------------------------------------ snapshots *)
+
+(* A snapshot keeps the session's faulty states in their packed group
+   representation — two state words plus a dirty byte per flip-flop per
+   group of up to 62 faults — so capturing costs ~1/62 of materializing
+   per-fault state arrays.  Individual states are unpacked on demand when
+   [of_snapshot]'s [create] reads them, i.e. only for the faults a probe
+   session actually targets. *)
+
+type snap_group = {
+  sg_fzero : int array;
+  sg_fone : int array;
+  sg_dmark : Bytes.t;
+}
+
+type snapshot = {
+  snap_model : Model.t;
+  snap_good : Logic.t array;
+  snap_captured : Bytes.t;  (* fault id -> '\001' when captured *)
+  snap_group_of : int array;
+  snap_slot_of : int array;
+  snap_det : int array;  (* det_time at capture *)
+  snap_groups : snap_group array;
+  snap_nff : int;
+}
+
+let snapshot ?fault_ids t =
+  let ids =
+    match fault_ids with
+    | Some a -> a
+    | None -> t.fault_ids
+  in
+  let captured = Bytes.make (Array.length t.group_of) '\000' in
+  Array.iter
+    (fun fid ->
+      check_target t fid;
+      Bytes.set captured fid '\001')
+    ids;
+  {
+    snap_model = t.model;
+    snap_good = good_state t;
+    snap_captured = captured;
+    snap_group_of = Array.copy t.group_of;
+    snap_slot_of = Array.copy t.slot_of;
+    snap_det = Array.copy t.det_time;
+    snap_groups =
+      Array.map
+        (fun g ->
+          { sg_fzero = Array.copy g.fzero;
+            sg_fone = Array.copy g.fone;
+            sg_dmark = Bytes.copy g.dmark })
+        t.groups;
+    snap_nff = Array.length t.dffs;
+  }
+
+(* Mirror of [faulty_state], reading the captured words. *)
+let snapshot_state snap fid =
+  if
+    fid < 0
+    || fid >= Bytes.length snap.snap_captured
+    || Bytes.get snap.snap_captured fid = '\000'
+  then invalid_arg "Faultsim.of_snapshot: fault not captured";
+  if snap.snap_det.(fid) >= 0 then snap.snap_good
+  else begin
+    let g = snap.snap_groups.(snap.snap_group_of.(fid)) in
+    let bit = 1 lsl snap.snap_slot_of.(fid) in
+    Array.init snap.snap_nff (fun k ->
+        if Bytes.get g.sg_dmark k = '\000' then snap.snap_good.(k)
+        else if g.sg_fone.(k) land bit <> 0 then Logic.One
+        else if g.sg_fzero.(k) land bit <> 0 then Logic.Zero
+        else Logic.X)
+  end
+
+let of_snapshot ?engine ?jobs ?budget snap ~fault_ids =
+  create ?engine ?jobs ?budget ~good_state:snap.snap_good
+    ~faulty_states:(snapshot_state snap) snap.snap_model ~fault_ids
+
 (* --------------------------------------------------------- conveniences *)
 
 let detection_times_view ?engine ?jobs ?budget model ~fault_ids view =

@@ -135,6 +135,39 @@ val effect_bits : t -> int
     [2^62] (every group word).  Exposed for cross-validation. *)
 val popcount : int -> int
 
+(** {1 Snapshots}
+
+    A snapshot is an immutable capture of a session's position: the good
+    flip-flop state plus every captured fault's machine state, kept in
+    the packed 62-faults-per-word group representation so the capture
+    costs a small fraction of materializing per-fault arrays; individual
+    states are unpacked only for the faults a probe session targets.
+    Because {!create} copies initial states on read, a snapshot may be
+    shared read-only across domains: each worker builds its own
+    thread-confined probe session with {!of_snapshot} and simulates
+    independently.  This is what makes speculative compaction trials
+    cheap — one state capture per round, [K] concurrent probes against
+    it. *)
+
+type snapshot
+
+(** [snapshot t] captures the current good and per-fault states for
+    [fault_ids] (default: every target of [t]).  The snapshot is
+    positioned at [time t]; fault states of already-detected faults
+    equal the good state. *)
+val snapshot : ?fault_ids:int array -> t -> snapshot
+
+(** [of_snapshot snap ~fault_ids] starts a fresh session continuing from
+    the snapshot's position, over a subset of the captured faults.
+    @raise Invalid_argument if a fault was not captured. *)
+val of_snapshot :
+  ?engine:engine ->
+  ?jobs:int ->
+  ?budget:Obs.Budget.t ->
+  snapshot ->
+  fault_ids:int array ->
+  t
+
 (** {1 One-shot conveniences} *)
 
 (** [detection_times model ~fault_ids seq] simulates [seq] from power-up and
