@@ -25,6 +25,7 @@ type options = {
   mutable jobs : int;
   mutable json : string;
   mutable json3 : string;
+  mutable json4 : string;
 }
 
 let parse_args () =
@@ -38,6 +39,7 @@ let parse_args () =
       jobs = max 1 (min 8 (Domain.recommended_domain_count () - 1));
       json = "BENCH_2.json";
       json3 = "BENCH_3.json";
+      json4 = "BENCH_4.json";
     }
   in
   let rec go = function
@@ -68,6 +70,9 @@ let parse_args () =
       go rest
     | "--json3" :: v :: rest ->
       o.json3 <- v;
+      go rest
+    | "--json4" :: v :: rest ->
+      o.json4 <- v;
       go rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
@@ -482,6 +487,132 @@ let compaction_compare ~scale =
   print_newline ();
   rows
 
+(* ---------------------------------------------------- server round-trip *)
+
+(* Cold vs warm-cache latency of one `generate` request through the
+   daemon, and pipelined request throughput at 1 and 2 worker domains.
+   All numbers are end-to-end (socket, framing, parsing, compute) against
+   an in-process daemon on a Unix socket; honest single-core latencies,
+   not a load-balancer fantasy. *)
+
+type server_bench = {
+  sb_circuit : string;
+  sb_cold_ms : float;
+  sb_warm_ms : float;
+  sb_rps_jobs1 : float;
+  sb_rps_jobs2 : float;
+}
+
+let with_bench_daemon ~jobs f =
+  let sock = Filename.temp_file "scanatpg_bench" ".sock" in
+  let addr = Server.Daemon.Unix_sock sock in
+  let cfg =
+    {
+      (Server.Daemon.default_config addr) with
+      Server.Daemon.jobs;
+      queue_depth = 64;
+      install_signals = false;
+      verbose = false;
+    }
+  in
+  let d = Domain.spawn (fun () -> Server.Daemon.run cfg) in
+  let rec wait_up n =
+    if n > 250 then failwith "bench daemon did not come up"
+    else
+      match Server.Client.connect addr with
+      | c -> Server.Client.close c
+      | exception Unix.Unix_error _ ->
+        Unix.sleepf 0.02;
+        wait_up (n + 1)
+  in
+  wait_up 0;
+  let r = f addr in
+  (let c = Server.Client.connect addr in
+   ignore (Server.Client.call c {|{"op":"shutdown"}|});
+   Server.Client.close c);
+  ignore (Domain.join d);
+  (try Sys.remove sock with Sys_error _ -> ());
+  r
+
+let server_gen_req ~scale name =
+  Printf.sprintf
+    {|{"op":"generate","circuit":"%s","seed":77,"scale":"%s","sequence":false}|}
+    name
+    (match scale with Circuits.Profiles.Quick -> "quick" | _ -> "full")
+
+let time_call c req =
+  let t = Obs.Clock.now_ns () in
+  ignore (Server.Client.call c req);
+  Obs.Clock.to_s (Obs.Clock.elapsed_ns t)
+
+(* N identical warm requests written back-to-back on one connection, then
+   N responses read back: the daemon pipeline is the only variable. *)
+let pipelined_rps addr req n =
+  let c = Server.Client.connect addr in
+  Fun.protect
+    ~finally:(fun () -> Server.Client.close c)
+    (fun () ->
+      ignore (Server.Client.call c req);
+      let fd = Server.Client.fd c in
+      let t = Obs.Clock.now_ns () in
+      for _ = 1 to n do
+        Server.Protocol.write_frame fd req
+      done;
+      for _ = 1 to n do
+        ignore (Server.Protocol.read_frame fd)
+      done;
+      float_of_int n /. Obs.Clock.to_s (Obs.Clock.elapsed_ns t))
+
+let server_roundtrip ~scale =
+  print_endline "--- server round-trip (cold vs warm cache, req/s) ---";
+  let circuits = [ "s27"; "s298" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let req = server_gen_req ~scale name in
+        (* Scale the sample counts to the cold latency: a circuit whose
+           generate takes seconds would otherwise spend minutes here for
+           no extra statistical power. *)
+        let cold_ms, warm_ms, slow =
+          with_bench_daemon ~jobs:1 (fun addr ->
+              let c = Server.Client.connect addr in
+              Fun.protect
+                ~finally:(fun () -> Server.Client.close c)
+                (fun () ->
+                  let cold = time_call c req in
+                  let slow = cold > 0.1 in
+                  let reps = if slow then 3 else 10 in
+                  let acc = ref 0.0 in
+                  for _ = 1 to reps do
+                    acc := !acc +. time_call c req
+                  done;
+                  cold *. 1e3, !acc /. float_of_int reps *. 1e3, slow))
+        in
+        let rps jobs =
+          with_bench_daemon ~jobs (fun addr ->
+              pipelined_rps addr req (if slow then 4 else 32))
+        in
+        let rps1 = rps 1 in
+        let rps2 = rps 2 in
+        Printf.printf
+          "  %-8s cold %8.2f ms   warm %8.2f ms (%.1fx)   %7.1f req/s @1  \
+           %7.1f req/s @2\n\
+           %!"
+          name cold_ms warm_ms
+          (cold_ms /. warm_ms)
+          rps1 rps2;
+        {
+          sb_circuit = name;
+          sb_cold_ms = cold_ms;
+          sb_warm_ms = warm_ms;
+          sb_rps_jobs1 = rps1;
+          sb_rps_jobs2 = rps2;
+        })
+      circuits
+  in
+  print_newline ();
+  rows
+
 (* ----------------------------------------------------- bechamel kernels *)
 
 let kernels () =
@@ -708,6 +839,28 @@ let write_bench3_json path ~scale ~rows =
   Obs.Fileio.write_string path (Buffer.contents b);
   Printf.printf "wrote %s\n%!" path
 
+let write_bench4_json path ~scale ~rows =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"scanatpg-bench/4\",\n";
+  add "  \"scale\": \"%s\",\n" (json_escape scale);
+  add "  \"server\": [\n%s\n  ]\n"
+    (String.concat ",\n"
+       (List.map
+          (fun r ->
+            Printf.sprintf
+              "    {\"circuit\": \"%s\", \"cold_ms\": %.3f, \"warm_ms\": \
+               %.3f, \"warm_speedup\": %.3f, \"rps_jobs1\": %.1f, \
+               \"rps_jobs2\": %.1f}"
+              (json_escape r.sb_circuit) r.sb_cold_ms r.sb_warm_ms
+              (r.sb_cold_ms /. r.sb_warm_ms)
+              r.sb_rps_jobs1 r.sb_rps_jobs2)
+          rows));
+  add "}\n";
+  Obs.Fileio.write_string path (Buffer.contents b);
+  Printf.printf "wrote %s\n%!" path
+
 (* ----------------------------------------------------------------- main *)
 
 let () =
@@ -763,6 +916,7 @@ let () =
   let compaction_rows =
     if o.kernels then compaction_compare ~scale:o.scale else []
   in
+  let server_rows = if o.kernels then server_roundtrip ~scale:o.scale else [] in
   let kernel_rows = if o.kernels then kernels () else [] in
   let scale_name =
     match o.scale with Circuits.Profiles.Quick -> "quick" | _ -> "full"
@@ -771,4 +925,6 @@ let () =
     ~total_wall_s:(Obs.Clock.to_s (Obs.Clock.elapsed_ns t0))
     ~pipelines:timed_results ~engines ~kernel_rows;
   if compaction_rows <> [] then
-    write_bench3_json o.json3 ~scale:scale_name ~rows:compaction_rows
+    write_bench3_json o.json3 ~scale:scale_name ~rows:compaction_rows;
+  if server_rows <> [] then
+    write_bench4_json o.json4 ~scale:scale_name ~rows:server_rows

@@ -150,4 +150,78 @@ jq -e '.counters["compaction.speculative.dispatched"] ==
   "$tmpdir/compact3.json" > /dev/null \
   || fail "speculative dispatch accounting does not balance"
 
+echo "== serve-mode smoke test =="
+# Daemon on a temp socket; pipeline generate (twice, so the second is a
+# warm-cache hit) + stats + shutdown through the batch client.  Demand
+# clean exits on both sides, server.accepted == requests sent, exactly one
+# cache hit, and identical generate payloads (modulo id) cold vs warm.
+scanatpg_bin=./_build/default/bin/scanatpg.exe
+[ -x "$scanatpg_bin" ] || fail "missing $scanatpg_bin (dune build @all ran?)"
+cat > "$tmpdir/requests.jsonl" <<'EOF'
+{"op":"generate","circuit":"s27","seed":7}
+{"op":"generate","circuit":"s27","seed":7}
+{"op":"stats"}
+{"op":"shutdown"}
+EOF
+"$scanatpg_bin" serve --socket "$tmpdir/serve.sock" --quiet \
+  --metrics "$tmpdir/serve-metrics.json" &
+serve_pid=$!
+i=0
+while [ ! -S "$tmpdir/serve.sock" ] && [ "$i" -lt 50 ]; do
+  i=$((i + 1)); sleep 0.1
+done
+[ -S "$tmpdir/serve.sock" ] || fail "daemon socket never appeared"
+"$scanatpg_bin" batch --socket "$tmpdir/serve.sock" \
+  "$tmpdir/requests.jsonl" -o "$tmpdir/responses.jsonl" 2> /dev/null \
+  || fail "batch against daemon"
+wait "$serve_pid" || fail "daemon exited non-zero after a shutdown request"
+[ "$(wc -l < "$tmpdir/responses.jsonl")" -eq 4 ] \
+  || fail "expected 4 responses"
+jq -es 'all(.[]; .status == "ok")' "$tmpdir/responses.jsonl" > /dev/null \
+  || fail "non-ok response in batch replay"
+jq -e '.counters["server.accepted"] == 4' "$tmpdir/serve-metrics.json" \
+  > /dev/null || fail "server.accepted != requests sent"
+jq -e '.counters["server.cache_hit"] == 1
+       and .counters["server.cache_miss"] == 1' \
+  "$tmpdir/serve-metrics.json" > /dev/null \
+  || fail "expected one cache miss then one cache hit"
+warm1=$(sed -n 1p "$tmpdir/responses.jsonl" | jq -cS 'del(.id)')
+warm2=$(sed -n 2p "$tmpdir/responses.jsonl" | jq -cS 'del(.id)')
+[ "$warm1" = "$warm2" ] \
+  || fail "warm-cache generate payload differs from the cold one"
+
+echo "== serve-drain smoke test =="
+# SIGTERM with a short grace: in-flight work is budget-tripped to typed
+# degraded responses, the daemon still exits 0, and the access log holds
+# one well-formed JSON line per request.
+cat > "$tmpdir/drain-requests.jsonl" <<'EOF'
+{"op":"table","circuit":"s344"}
+{"op":"table","circuit":"s298"}
+EOF
+"$scanatpg_bin" serve --socket "$tmpdir/drain.sock" --quiet \
+  --drain-grace 0.2 --access-log "$tmpdir/access.jsonl" &
+serve_pid=$!
+i=0
+while [ ! -S "$tmpdir/drain.sock" ] && [ "$i" -lt 50 ]; do
+  i=$((i + 1)); sleep 0.1
+done
+[ -S "$tmpdir/drain.sock" ] || fail "drain daemon socket never appeared"
+"$scanatpg_bin" batch --socket "$tmpdir/drain.sock" \
+  "$tmpdir/drain-requests.jsonl" -o "$tmpdir/drain-responses.jsonl" \
+  2> /dev/null &
+batch_pid=$!
+sleep 0.5
+kill -TERM "$serve_pid"
+wait "$serve_pid" || fail "daemon exited non-zero after SIGTERM"
+rc=0
+wait "$batch_pid" || rc=$?
+[ "$rc" -eq 0 ] || [ "$rc" -eq 3 ] \
+  || fail "batch during drain exited $rc (expected 0 or 3)"
+jq -es 'all(.[]; .status == "ok" or .status == "degraded")' \
+  "$tmpdir/drain-responses.jsonl" > /dev/null \
+  || fail "drain left a response that is neither ok nor degraded"
+jq -es 'length == 2 and all(.[]; has("id") and has("op") and has("status"))' \
+  "$tmpdir/access.jsonl" > /dev/null \
+  || fail "access log not well-formed after drain"
+
 echo "check: OK"

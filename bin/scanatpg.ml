@@ -9,6 +9,9 @@
      table      regenerate the paper's Table 5/6/7 rows for chosen circuits
      run        full pipeline for one circuit with deadlines, checkpoints
                 and resume (DESIGN.md #8)
+     diagnose   rank fault candidates against an observed failing response
+     serve      ATPG service daemon over a Unix socket (DESIGN.md #11)
+     batch      pipeline a JSONL request file to a running daemon
 
    Circuits are named from the built-in catalog ("s27", "s298", ..., "b11")
    or given as a path to a .bench file.
@@ -547,6 +550,207 @@ let run_cmd =
       $ checkpoint_arg $ resume_arg $ every_arg $ halt_arg $ metrics_arg
       $ trace_arg)
 
+(* ------------------------------------------------------------ diagnose *)
+
+let diagnose_cmd =
+  let seq_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"SEQFILE" ~doc:"Sequence file (one 01x vector per line).")
+  in
+  let inject_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "inject" ] ~docv:"FAULT"
+          ~doc:"Collapsed fault id whose faulty response plays the observed \
+                failing device (a synthetic tester log).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"Show the $(docv) best-ranked candidates.")
+  in
+  let run spec scale chains seqfile inject top metrics_path trace_path =
+    with_obs ~metrics_path ~trace_path (fun metrics trace ->
+        let c = load_circuit ~scale spec in
+        let _scan, model, _cfg = setup_scan ~chains ~seed:0L ~jobs:1 c in
+        let seq = read_sequence seqfile in
+        let nf = Faultmodel.Model.fault_count model in
+        if inject < 0 || inject >= nf then
+          invalid_arg
+            (Printf.sprintf "--inject %d out of range (collapsed faults: 0..%d)"
+               inject (nf - 1));
+        let observed =
+          Obs.Metrics.timed metrics ~trace "observe-sim" (fun () ->
+              Core.Diagnose.response model ~fault:inject seq)
+        in
+        let ranking =
+          Obs.Metrics.timed metrics ~trace "diagnose" (fun () ->
+              Core.Diagnose.run model seq ~observed ())
+        in
+        let perfect = Core.Diagnose.perfect ranking in
+        Printf.printf
+          "%d candidates ranked; %d explain the observation exactly\n"
+          (List.length ranking) (List.length perfect);
+        List.iteri
+          (fun i cand ->
+            if i < top then
+              Printf.printf "%2d. fault %d: matched %d, missed %d, extra %d%s\n"
+                (i + 1) cand.Core.Diagnose.fault cand.Core.Diagnose.matched
+                cand.Core.Diagnose.missed cand.Core.Diagnose.extra
+                (if cand.Core.Diagnose.fault = inject then "  <- injected"
+                 else ""))
+          ranking);
+    0
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:"Rank stuck-at fault candidates against an observed failing \
+             response (cause-effect diagnosis).")
+    Term.(
+      const run $ circuit_arg $ scale_arg $ chains_arg $ seq_arg $ inject_arg
+      $ top_arg $ metrics_arg $ trace_arg)
+
+(* --------------------------------------------------------------- serve *)
+
+let socket_arg =
+  Arg.(
+    value & opt string "scanatpg.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path to listen on / connect to.")
+
+let tcp_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"Use TCP instead of the Unix socket (opt-in; e.g. \
+              127.0.0.1:7227).")
+
+let parse_addr socket tcp =
+  match tcp with
+  | None -> Server.Daemon.Unix_sock socket
+  | Some spec -> (
+    match String.rindex_opt spec ':' with
+    | None ->
+      invalid_arg (Printf.sprintf "--tcp %s: expected HOST:PORT" spec)
+    | Some i ->
+      let host = String.sub spec 0 i in
+      let port_s = String.sub spec (i + 1) (String.length spec - i - 1) in
+      (match int_of_string_opt port_s with
+      | Some port when port > 0 && port < 65536 -> Server.Daemon.Tcp (host, port)
+      | _ -> invalid_arg (Printf.sprintf "--tcp %s: bad port %s" spec port_s)))
+
+let serve_cmd =
+  let server_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "server-jobs" ] ~docv:"N"
+          ~doc:"Worker domains executing requests concurrently. Response \
+                payloads are identical at any value; see DESIGN.md \xc2\xa711.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Admission bound: requests beyond $(docv) waiting are \
+                answered with a typed $(b,overloaded) response instead of \
+                queueing unboundedly.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Compiled circuits (parse + levelize + fault collapse + \
+                SCOAP) kept resident, evicted least-recently-used.")
+  in
+  let access_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:"Write one JSON line per request (id, op, circuit, status, \
+                cache) to $(docv) at drain.")
+  in
+  let grace_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "drain-grace" ] ~docv:"SECONDS"
+          ~doc:"On shutdown, let in-flight work run for $(docv) seconds \
+                before tripping its budgets (degraded but sound responses).")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ] ~doc:"Suppress lifecycle messages on stderr.")
+  in
+  let run socket tcp jobs queue cache scale access grace metrics_path quiet =
+    Server.Daemon.run
+      {
+        Server.Daemon.addr = parse_addr socket tcp;
+        jobs;
+        queue_depth = queue;
+        cache_capacity = cache;
+        default_scale = scale;
+        access_log = access;
+        metrics_path;
+        drain_grace_s = grace;
+        install_signals = true;
+        verbose = not quiet;
+      }
+  in
+  let exits =
+    Cmd.Exit.info 0
+      ~doc:"after a clean drain (SIGTERM, SIGINT or a $(b,shutdown) request)."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:"Run the ATPG service daemon: length-prefixed JSON requests over \
+             a Unix-domain socket (or $(b,--tcp)), with circuit caching, \
+             admission control and graceful drain (DESIGN.md \xc2\xa711).")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ server_jobs_arg $ queue_arg
+      $ cache_arg $ scale_arg $ access_arg $ grace_arg $ metrics_arg
+      $ quiet_arg)
+
+(* --------------------------------------------------------------- batch *)
+
+let batch_cmd =
+  let input_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUESTS"
+          ~doc:"JSONL file: one request object per line (ids assigned \
+                sequentially when absent).")
+  in
+  let run socket tcp input out =
+    let outcomes =
+      Server.Client.run_batch ~addr:(parse_addr socket tcp) ~input
+        ?output:out ()
+    in
+    let count s =
+      List.length
+        (List.filter (fun o -> o.Server.Client.status = s) outcomes)
+    in
+    let total = List.length outcomes in
+    let ok = count "ok" and degraded = count "degraded" in
+    let failed = total - ok - degraded in
+    Printf.eprintf "scanatpg batch: %d request(s): %d ok, %d degraded, %d failed\n%!"
+      total ok degraded failed;
+    if failed > 0 then 1 else if degraded > 0 then 3 else 0
+  in
+  let exits =
+    Cmd.Exit.info 3 ~doc:"every response arrived but some were degraded."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "batch" ~exits
+       ~doc:"Pipeline a JSONL file of requests to a running daemon, collect \
+             the responses by id, and write them in request order.")
+    Term.(const run $ socket_arg $ tcp_arg $ input_arg $ out_arg)
+
 (* ---------------------------------------------------------------- main *)
 
 let () =
@@ -570,7 +774,7 @@ let () =
         (Cmd.group
            (Cmd.info "scanatpg" ~version:"1.0.0" ~doc ~exits)
            [ info_cmd; export_cmd; generate_cmd; compact_cmd; table_cmd;
-             run_cmd ])
+             run_cmd; diagnose_cmd; serve_cmd; batch_cmd ])
     with
     | Netlist.Bench_format.Parse_error { line; col; token; message } ->
       Printf.eprintf "scanatpg: parse error at line %d, column %d (%S): %s\n"
@@ -591,6 +795,16 @@ let () =
       2
     | Netlist.Circuit.Invalid_circuit msg ->
       Printf.eprintf "scanatpg: invalid circuit: %s\n" msg;
+      2
+    | Invalid_argument msg ->
+      Printf.eprintf "scanatpg: %s\n" msg;
+      2
+    | Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "scanatpg: %s: %s%s\n" fn (Unix.error_message e)
+        (if arg = "" then "" else " (" ^ arg ^ ")");
+      2
+    | Failure msg ->
+      Printf.eprintf "%s\n" msg;
       2
     | e ->
       Printf.eprintf "scanatpg: internal error: %s\n" (Printexc.to_string e);

@@ -73,7 +73,4 @@ let dump ?scope circuit seq =
   render ?scope circuit seq nodes
 
 let write_file path ?scope circuit seq =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (dump ?scope circuit seq))
+  Obs.Fileio.write_string path (dump ?scope circuit seq)

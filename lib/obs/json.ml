@@ -1,3 +1,15 @@
+exception Non_finite of float
+exception Parse_error of { pos : int; message : string }
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
 let escape s =
   let b = Buffer.create (String.length s + 2) in
   String.iter
@@ -17,5 +29,291 @@ let escape s =
 let quote s = "\"" ^ escape s ^ "\""
 
 let float f =
-  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "0"
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+    raise (Non_finite f)
   else Printf.sprintf "%.9g" f
+
+(* 17 significant digits render every binary64 value unambiguously, so a
+   [Float] leaf survives an emit/parse roundtrip bit-exactly. *)
+let float_exact f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+    raise (Non_finite f)
+  else
+    let s = Printf.sprintf "%.17g" f in
+    (* keep the token a JSON number (and distinguishable from an Int) *)
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'E'
+    then s
+    else s ^ ".0"
+
+let to_string v =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_exact f)
+    | Str s -> Buffer.add_string b (quote s)
+    | Arr xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          go x)
+        xs;
+      Buffer.add_char b ']'
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (quote k);
+          Buffer.add_char b ':';
+          go x)
+        fields;
+      Buffer.add_char b '}'
+  in
+  go v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------- parser *)
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error message = raise (Parse_error { pos = !pos; message }) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> error (Printf.sprintf "expected %C, found %C" c c')
+    | None -> error (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else error (Printf.sprintf "expected %s" word)
+  in
+  let utf8_add b cp =
+    (* encode one Unicode scalar value *)
+    if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > n then error "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | c -> error (Printf.sprintf "invalid hex digit %C in \\u escape" c)
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+        advance ();
+        Buffer.contents b
+      | '\\' ->
+        advance ();
+        (if !pos >= n then error "unterminated escape";
+         match s.[!pos] with
+         | '"' -> Buffer.add_char b '"'; advance ()
+         | '\\' -> Buffer.add_char b '\\'; advance ()
+         | '/' -> Buffer.add_char b '/'; advance ()
+         | 'b' -> Buffer.add_char b '\b'; advance ()
+         | 'f' -> Buffer.add_char b '\012'; advance ()
+         | 'n' -> Buffer.add_char b '\n'; advance ()
+         | 'r' -> Buffer.add_char b '\r'; advance ()
+         | 't' -> Buffer.add_char b '\t'; advance ()
+         | 'u' ->
+           advance ();
+           let cp = hex4 () in
+           let cp =
+             (* surrogate pair *)
+             if cp >= 0xD800 && cp <= 0xDBFF
+                && !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+             then begin
+               pos := !pos + 2;
+               let lo = hex4 () in
+               if lo >= 0xDC00 && lo <= 0xDFFF then
+                 0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+               else error "invalid low surrogate"
+             end
+             else cp
+           in
+           utf8_add b cp
+         | c -> error (Printf.sprintf "invalid escape \\%C" c));
+        go ()
+      | c when Char.code c < 0x20 ->
+        error "raw control character in string (must be \\u-escaped)"
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        advance ()
+      done;
+      if !pos = d0 then error "expected digit"
+    in
+    digits ();
+    let is_float = ref false in
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+     | Some ('e' | 'E') ->
+       is_float := true;
+       advance ();
+       (match peek () with
+        | Some ('+' | '-') -> advance ()
+        | _ -> ());
+       digits ()
+     | _ -> ());
+    let tok = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string tok)
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> Float (float_of_string tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> error "expected ',' or ']' in array"
+        in
+        Arr (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          k, v
+        in
+        let rec fields acc =
+          let f = field () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields (f :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev (f :: acc)
+          | _ -> error "expected ',' or '}' in object"
+        in
+        Obj (fields [])
+      end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> error (Printf.sprintf "unexpected character %C" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then error "trailing garbage after document";
+  v
+
+(* ---------------------------------------------------------- accessors *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let get_int = function
+  | Int i -> Some i
+  | _ -> None
+
+let get_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let get_bool = function
+  | Bool b -> Some b
+  | _ -> None
+
+let get_str = function
+  | Str s -> Some s
+  | _ -> None
+
+let get_arr = function
+  | Arr xs -> Some xs
+  | _ -> None

@@ -1,0 +1,150 @@
+type conn = { fd : Unix.file_descr }
+
+let sockaddr_of_addr = function
+  | Daemon.Unix_sock path -> Unix.ADDR_UNIX path
+  | Daemon.Tcp (host, port) ->
+    Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let connect addr =
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let domain =
+    match addr with
+    | Daemon.Unix_sock _ -> Unix.PF_UNIX
+    | Daemon.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (sockaddr_of_addr addr)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+let fd conn = conn.fd
+
+let call conn payload =
+  Protocol.write_frame conn.fd payload;
+  match Protocol.read_frame conn.fd with
+  | Some resp -> resp
+  | None -> failwith "scanatpg batch: daemon closed the connection"
+
+type outcome = {
+  id : int;
+  status : string;
+  payload : string option;
+}
+
+let read_lines path =
+  let ic =
+    try open_in path
+    with Sys_error msg -> failwith (Printf.sprintf "scanatpg batch: %s" msg)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line ->
+          let acc = if String.trim line = "" then acc else line :: acc in
+          go acc
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* Normalise one input line into (id, payload): parse, keep an explicit
+   integer id, otherwise stamp the 1-based line position. *)
+let prepare idx line =
+  let doc =
+    try Obs.Json.parse line
+    with Obs.Json.Parse_error { pos; message } ->
+      failwith
+        (Printf.sprintf "scanatpg batch: request %d: parse error at %d: %s"
+           (idx + 1) pos message)
+  in
+  match doc with
+  | Obs.Json.Obj fields -> (
+    match Obs.Json.member "id" doc with
+    | Some (Obs.Json.Int id) -> (id, Obs.Json.to_string doc)
+    | _ ->
+      let id = idx + 1 in
+      let doc = Obs.Json.Obj (("id", Obs.Json.Int id) :: fields) in
+      (id, Obs.Json.to_string doc))
+  | _ ->
+    failwith
+      (Printf.sprintf "scanatpg batch: request %d is not a JSON object"
+         (idx + 1))
+
+let status_of_payload payload =
+  match Obs.Json.parse payload with
+  | exception Obs.Json.Parse_error _ -> "error"
+  | doc -> (
+    match Option.bind (Obs.Json.member "status" doc) Obs.Json.get_str with
+    | Some s -> s
+    | None -> "error")
+
+let id_of_payload payload =
+  match Obs.Json.parse payload with
+  | exception Obs.Json.Parse_error _ -> None
+  | doc -> Option.bind (Obs.Json.member "id" doc) Obs.Json.get_int
+
+let run_batch ~addr ~input ?output () =
+  let requests = List.mapi prepare (read_lines input) in
+  let expected = List.length requests in
+  let conn = connect addr in
+  Fun.protect
+    ~finally:(fun () -> close conn)
+    (fun () ->
+      (* A reader domain collects responses while we are still writing
+         requests, so a full socket buffer in either direction can never
+         deadlock the pipeline. *)
+      let got = Hashtbl.create 64 in
+      let gmu = Mutex.create () in
+      let reader =
+        Domain.spawn (fun () ->
+            let rec go n =
+              if n >= expected then ()
+              else
+                match Protocol.read_frame conn.fd with
+                | None -> ()
+                | Some payload ->
+                  (match id_of_payload payload with
+                  | Some id ->
+                    Mutex.lock gmu;
+                    Hashtbl.replace got id payload;
+                    Mutex.unlock gmu
+                  | None -> ());
+                  go (n + 1)
+            in
+            go 0)
+      in
+      List.iter
+        (fun (_, payload) -> Protocol.write_frame conn.fd payload)
+        requests;
+      (try Unix.shutdown conn.fd Unix.SHUTDOWN_SEND
+       with Unix.Unix_error _ -> ());
+      Domain.join reader;
+      let outcomes =
+        List.map
+          (fun (id, _) ->
+            match Hashtbl.find_opt got id with
+            | Some payload ->
+              { id; status = status_of_payload payload; payload = Some payload }
+            | None -> { id; status = "lost"; payload = None })
+          requests
+      in
+      let rendered =
+        String.concat ""
+          (List.map
+             (fun o ->
+               match o.payload with
+               | Some p -> p ^ "\n"
+               | None ->
+                 Protocol.error_response ~id:o.id "lost"
+                   "no response before the daemon hung up"
+                 ^ "\n")
+             outcomes)
+      in
+      (match output with
+      | Some path -> Obs.Fileio.write_string path rendered
+      | None -> print_string rendered);
+      outcomes)

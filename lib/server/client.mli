@@ -1,0 +1,35 @@
+(** Blocking client for the service daemon, and the `scanatpg batch`
+    runner built on top of it. *)
+
+type conn
+
+val connect : Daemon.addr -> conn
+val close : conn -> unit
+
+(** The raw descriptor, for callers that pipeline frames themselves
+    (e.g. the bench harness) via {!Protocol.write_frame} /
+    {!Protocol.read_frame}. *)
+val fd : conn -> Unix.file_descr
+
+(** [call conn payload] sends one request frame and blocks for one
+    response frame.  Raises [Failure] if the daemon hangs up first. *)
+val call : conn -> string -> string
+
+(** Outcome of one batch request, in input-file order. *)
+type outcome = {
+  id : int;
+  status : string;  (** ok | degraded | error | overloaded | lost *)
+  payload : string option;  (** [None] when the daemon hung up first *)
+}
+
+(** [run_batch ~addr ~input ()] pipelines every JSONL line of [input] as
+    a request frame (assigning sequential ids to lines that lack one),
+    collects responses by id, and writes the response payloads in request
+    order — one per line — to [output] (through {!Obs.Fileio}) or stdout.
+
+    Returns the outcomes in request order.  A response never delivered
+    (daemon drained away mid-batch) reports status ["lost"].
+    @raise Failure when [input] is unreadable or a line is not a JSON
+    object. *)
+val run_batch :
+  addr:Daemon.addr -> input:string -> ?output:string -> unit -> outcome list

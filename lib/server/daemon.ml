@@ -1,0 +1,410 @@
+type addr =
+  | Unix_sock of string
+  | Tcp of string * int
+
+type config = {
+  addr : addr;
+  jobs : int;
+  queue_depth : int;
+  cache_capacity : int;
+  default_scale : Circuits.Profiles.scale;
+  access_log : string option;
+  metrics_path : string option;
+  drain_grace_s : float;
+  install_signals : bool;
+  verbose : bool;
+}
+
+let default_config addr =
+  {
+    addr;
+    jobs = 1;
+    queue_depth = 16;
+    cache_capacity = 8;
+    default_scale = Circuits.Profiles.Quick;
+    access_log = None;
+    metrics_path = None;
+    drain_grace_s = 5.0;
+    install_signals = true;
+    verbose = false;
+  }
+
+(* Per-connection state.  [dec] and [eof] belong to the accept loop alone;
+   [inflight] and [closed] are shared with workers and guarded by [wmu],
+   which also serialises response writes so frames never interleave. *)
+type conn = {
+  fd : Unix.file_descr;
+  peer : string;
+  dec : Protocol.decoder;
+  wmu : Mutex.t;
+  mutable inflight : int;
+  mutable eof : bool;
+  mutable closed : bool;
+}
+
+type job = {
+  conn : conn;
+  req : Protocol.request;
+  budget : Obs.Budget.t;
+}
+
+type state = {
+  cfg : config;
+  svc : Service.t;
+  qmu : Mutex.t;
+  qcv : Condition.t;
+  queue : (int * job) Queue.t;  (* guarded by qmu *)
+  mutable draining : bool;  (* guarded by qmu *)
+  active : (int, Obs.Budget.t) Hashtbl.t;  (* guarded by qmu *)
+  mutable serial : int;  (* guarded by qmu *)
+  unfinished : int Atomic.t;
+  drain_flag : bool Atomic.t;
+  logmu : Mutex.t;
+  log : Buffer.t;
+}
+
+let say st fmt =
+  Printf.ksprintf
+    (fun s -> if st.cfg.verbose then Printf.eprintf "scanatpg serve: %s\n%!" s)
+    fmt
+
+let log_line st ~id ~peer (meta : Service.meta) =
+  let line =
+    Obs.Json.to_string
+      (Obs.Json.Obj
+         [
+           ("id", Obs.Json.Int id);
+           ("op", Obs.Json.Str meta.Service.op);
+           ("circuit", Obs.Json.Str meta.Service.circuit);
+           ("status", Obs.Json.Str meta.Service.status);
+           ("cache", Obs.Json.Str meta.Service.cache);
+           ("peer", Obs.Json.Str peer);
+         ])
+  in
+  Mutex.lock st.logmu;
+  Buffer.add_string st.log line;
+  Buffer.add_char st.log '\n';
+  Mutex.unlock st.logmu
+
+let close_conn_locked conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Write one response frame; a dead peer (EPIPE, reset, send timeout)
+   poisons the connection but never the daemon. *)
+let send _st conn payload =
+  Mutex.lock conn.wmu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wmu)
+    (fun () ->
+      if not conn.closed then
+        try Protocol.write_frame conn.fd payload
+        with _ -> close_conn_locked conn)
+
+(* One compute response fully delivered (or its connection is gone). *)
+let finish_one st serial conn =
+  Mutex.lock st.qmu;
+  Hashtbl.remove st.active serial;
+  Mutex.unlock st.qmu;
+  Service.bump st.svc "server.inflight" (-1);
+  Mutex.lock conn.wmu;
+  conn.inflight <- conn.inflight - 1;
+  if conn.eof && conn.inflight = 0 then close_conn_locked conn;
+  Mutex.unlock conn.wmu;
+  ignore (Atomic.fetch_and_add st.unfinished (-1))
+
+let worker st =
+  let rec loop () =
+    Mutex.lock st.qmu;
+    while Queue.is_empty st.queue && not st.draining do
+      Condition.wait st.qcv st.qmu
+    done;
+    if Queue.is_empty st.queue then Mutex.unlock st.qmu
+    else begin
+      let serial, job = Queue.pop st.queue in
+      Mutex.unlock st.qmu;
+      let payload, meta = Service.execute st.svc ~budget:job.budget job.req in
+      send st job.conn payload;
+      log_line st ~id:job.req.Protocol.id ~peer:job.conn.peer meta;
+      finish_one st serial job.conn;
+      loop ()
+    end
+  in
+  loop ()
+
+let compute_of_op = function
+  | Protocol.Generate { c; _ } | Protocol.Compact { c; _ } | Protocol.Table { c }
+    ->
+    Some c
+  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown -> None
+
+let circuit_label (c : Protocol.compute) =
+  match c.Protocol.src with
+  | Protocol.Catalog name -> name
+  | Protocol.Bench _ -> "bench"
+
+let request_drain st =
+  Mutex.lock st.qmu;
+  st.draining <- true;
+  Condition.broadcast st.qcv;
+  Mutex.unlock st.qmu;
+  Atomic.set st.drain_flag true
+
+(* A malformed request must still be answered under the sender's id
+   whenever the payload parses as a JSON object with an integer [id] —
+   otherwise a pipelining client cannot correlate the failure and
+   reports the request as lost. *)
+let salvage_id payload =
+  match Obs.Json.parse payload with
+  | exception Obs.Json.Parse_error _ -> 0
+  | j -> (
+    match Option.bind (Obs.Json.member "id" j) Obs.Json.get_int with
+    | Some id -> id
+    | None -> 0)
+
+let handle_payload st conn payload =
+  match Protocol.request_of_string payload with
+  | exception Protocol.Bad_request msg ->
+    let id = salvage_id payload in
+    Service.bump st.svc "server.bad_request" 1;
+    send st conn (Protocol.error_response ~id "error" msg);
+    log_line st ~id ~peer:conn.peer
+      { Service.status = "error"; op = "?"; circuit = "-"; cache = "-" }
+  | req -> (
+    match compute_of_op req.Protocol.op with
+    | None ->
+      (* Admin ops answer inline: they must stay responsive while every
+         worker is busy, and shutdown must not queue behind the very work
+         it is asked to drain. *)
+      Service.bump st.svc "server.accepted" 1;
+      let resp, meta =
+        Service.execute st.svc ~budget:(Obs.Budget.create ()) req
+      in
+      send st conn resp;
+      log_line st ~id:req.Protocol.id ~peer:conn.peer meta;
+      if req.Protocol.op = Protocol.Shutdown then begin
+        say st "shutdown requested by %s" conn.peer;
+        request_drain st
+      end
+    | Some c ->
+      Mutex.lock st.qmu;
+      let reject reason =
+        Mutex.unlock st.qmu;
+        Service.bump st.svc "server.rejected" 1;
+        send st conn (Protocol.error_response ~id:req.Protocol.id "overloaded" reason);
+        log_line st ~id:req.Protocol.id ~peer:conn.peer
+          {
+            Service.status = "overloaded";
+            op = Protocol.op_name req.Protocol.op;
+            circuit = circuit_label c;
+            cache = "-";
+          }
+      in
+      if st.draining then reject "daemon is draining"
+      else if Queue.length st.queue >= st.cfg.queue_depth then
+        reject "request queue is full"
+      else begin
+        let budget =
+          Obs.Budget.create ?deadline_s:c.Protocol.deadline_s
+            ?max_backtracks:c.Protocol.max_backtracks ()
+        in
+        let serial = st.serial in
+        st.serial <- serial + 1;
+        Hashtbl.replace st.active serial budget;
+        ignore (Atomic.fetch_and_add st.unfinished 1);
+        Queue.push (serial, { conn; req; budget }) st.queue;
+        Mutex.unlock st.qmu;
+        Service.bump st.svc "server.accepted" 1;
+        Service.bump st.svc "server.inflight" 1;
+        Mutex.lock conn.wmu;
+        conn.inflight <- conn.inflight + 1;
+        Mutex.unlock conn.wmu;
+        Condition.signal st.qcv
+      end)
+
+let mark_eof st conn =
+  conn.eof <- true;
+  Mutex.lock conn.wmu;
+  if conn.inflight = 0 then close_conn_locked conn;
+  Mutex.unlock conn.wmu;
+  ignore st
+
+let handle_readable st conn buf =
+  let n =
+    try Unix.read conn.fd buf 0 (Bytes.length buf) with
+    | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      -1
+  in
+  if n = 0 then mark_eof st conn
+  else if n > 0 then begin
+    Protocol.feed conn.dec buf 0 n;
+    let rec frames () =
+      match Protocol.next conn.dec with
+      | exception Protocol.Frame_too_large { announced; max } ->
+        (* The stream cannot be resynchronised past a bogus length
+           prefix; answer with a typed error, then hang up. *)
+        Service.bump st.svc "server.bad_request" 1;
+        send st conn
+          (Protocol.error_response ~id:0 "error"
+             (Printf.sprintf "frame of %d bytes exceeds maximum %d" announced
+                max));
+        Mutex.lock conn.wmu;
+        close_conn_locked conn;
+        Mutex.unlock conn.wmu
+      | Some payload ->
+        handle_payload st conn payload;
+        frames ()
+      | None -> ()
+    in
+    frames ()
+  end
+
+let listen_socket = function
+  | Unix_sock path ->
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | Tcp (host, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    Unix.listen fd 64;
+    fd
+
+let peer_of_sockaddr = function
+  | Unix.ADDR_UNIX _ -> "unix"
+  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+
+let addr_to_string = function
+  | Unix_sock path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let conn_alive conn =
+  Mutex.lock conn.wmu;
+  let alive = not conn.closed in
+  Mutex.unlock conn.wmu;
+  alive
+
+let drain st conns listen_fd workers =
+  Mutex.lock st.qmu;
+  st.draining <- true;
+  Condition.broadcast st.qcv;
+  Mutex.unlock st.qmu;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  say st "draining: %d request(s) in flight, grace %.1fs"
+    (Atomic.get st.unfinished) st.cfg.drain_grace_s;
+  let deadline = Unix.gettimeofday () +. st.cfg.drain_grace_s in
+  let tripped = ref false in
+  while Atomic.get st.unfinished > 0 do
+    if (not !tripped) && Unix.gettimeofday () >= deadline then begin
+      tripped := true;
+      Mutex.lock st.qmu;
+      let n = Hashtbl.length st.active in
+      Hashtbl.iter (fun _ b -> Obs.Budget.trip b Obs.Budget.Deadline) st.active;
+      Mutex.unlock st.qmu;
+      say st "grace elapsed: tripped %d in-flight budget(s)" n
+    end;
+    Unix.sleepf 0.02
+  done;
+  List.iter Domain.join workers;
+  List.iter
+    (fun conn ->
+      Mutex.lock conn.wmu;
+      close_conn_locked conn;
+      Mutex.unlock conn.wmu)
+    conns;
+  (match st.cfg.access_log with
+  | None -> ()
+  | Some path ->
+    Mutex.lock st.logmu;
+    let contents = Buffer.contents st.log in
+    Mutex.unlock st.logmu;
+    Obs.Fileio.write_string path contents);
+  (match st.cfg.metrics_path with
+  | None -> ()
+  | Some path -> Obs.Metrics.write_file (Service.metrics_snapshot st.svc) path);
+  (match st.cfg.addr with
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  say st "drained";
+  0
+
+let run cfg =
+  let st =
+    {
+      cfg;
+      svc =
+        Service.create ~cache_capacity:cfg.cache_capacity
+          ~default_scale:cfg.default_scale ();
+      qmu = Mutex.create ();
+      qcv = Condition.create ();
+      queue = Queue.create ();
+      draining = false;
+      active = Hashtbl.create 16;
+      serial = 0;
+      unfinished = Atomic.make 0;
+      drain_flag = Atomic.make false;
+      logmu = Mutex.create ();
+      log = Buffer.create 4096;
+    }
+  in
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  if cfg.install_signals then begin
+    let h = Sys.Signal_handle (fun _ -> Atomic.set st.drain_flag true) in
+    ignore (Sys.signal Sys.sigterm h);
+    ignore (Sys.signal Sys.sigint h)
+  end;
+  let listen_fd = listen_socket cfg.addr in
+  let workers = List.init cfg.jobs (fun _ -> Domain.spawn (fun () -> worker st)) in
+  say st "listening on %s (%d worker%s, queue depth %d)"
+    (addr_to_string cfg.addr) cfg.jobs
+    (if cfg.jobs = 1 then "" else "s")
+    cfg.queue_depth;
+  let buf = Bytes.create 65536 in
+  let rec loop conns =
+    if Atomic.get st.drain_flag then conns
+    else begin
+      let conns = List.filter conn_alive conns in
+      let rfds =
+        List.filter_map (fun c -> if c.eof then None else Some c.fd) conns
+      in
+      match Unix.select (listen_fd :: rfds) [] [] 0.1 with
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) ->
+        loop conns
+      | ready, _, _ ->
+        let conns =
+          if List.mem listen_fd ready then (
+            match Unix.accept listen_fd with
+            | exception Unix.Unix_error _ -> conns
+            | fd, sa ->
+              (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 30.0
+               with Unix.Unix_error _ -> ());
+              let conn =
+                {
+                  fd;
+                  peer = peer_of_sockaddr sa;
+                  dec = Protocol.decoder ();
+                  wmu = Mutex.create ();
+                  inflight = 0;
+                  eof = false;
+                  closed = false;
+                }
+              in
+              say st "connection from %s" conn.peer;
+              conn :: conns)
+          else conns
+        in
+        List.iter
+          (fun c ->
+            if (not c.eof) && List.mem c.fd ready then handle_readable st c buf)
+          conns;
+        loop conns
+    end
+  in
+  let conns = loop [] in
+  drain st conns listen_fd workers

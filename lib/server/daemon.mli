@@ -1,0 +1,40 @@
+(** The `scanatpg serve` daemon (DESIGN.md §11).
+
+    One accept/read loop on the calling domain multiplexes every client
+    connection with [select]; [jobs] worker domains execute compute
+    requests from a bounded queue.  Admission control is strict: when the
+    queue is full a request is answered immediately with a typed
+    [overloaded] payload instead of queueing unboundedly.  Admin requests
+    ([ping], [stats], [shutdown]) are answered inline by the accept loop
+    — they stay responsive while every worker is busy.
+
+    Graceful drain (SIGTERM, SIGINT or a [shutdown] request): the
+    listening socket closes, no further requests are admitted, queued and
+    in-flight work runs to completion — and is budget-tripped once
+    [drain_grace_s] elapses, so every admitted request is answered with
+    its result or a typed [degraded] response, never cut off mid-frame.
+    After the workers join, the access log and final metrics are flushed
+    through {!Obs.Fileio} and [run] returns 0. *)
+
+type addr =
+  | Unix_sock of string  (** path of a Unix-domain socket (created) *)
+  | Tcp of string * int  (** opt-in TCP, e.g. ("127.0.0.1", 7227) *)
+
+type config = {
+  addr : addr;
+  jobs : int;  (** worker domains executing compute requests *)
+  queue_depth : int;  (** admission bound on waiting requests *)
+  cache_capacity : int;  (** compiled circuits kept resident *)
+  default_scale : Circuits.Profiles.scale;
+  access_log : string option;  (** JSONL, one line per request, at drain *)
+  metrics_path : string option;  (** final metrics document, at drain *)
+  drain_grace_s : float;  (** seconds before a drain trips in-flight budgets *)
+  install_signals : bool;  (** SIGTERM/SIGINT → drain (off in tests) *)
+  verbose : bool;  (** lifecycle messages on stderr *)
+}
+
+val default_config : addr -> config
+
+(** [run config] serves until drained; returns the process exit code
+    (0 after a clean drain).  Blocks the calling domain. *)
+val run : config -> int

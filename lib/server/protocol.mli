@@ -1,0 +1,101 @@
+(** Wire protocol of the ATPG service daemon (DESIGN.md §11).
+
+    Frames are length-prefixed: a 4-byte big-endian unsigned payload
+    length followed by exactly that many bytes of UTF-8 JSON.  One frame
+    carries one request or one response.  Responses reference their
+    request's [id]; the daemon may answer out of order (workers finish
+    when they finish), so clients must correlate by id, never by arrival
+    position.
+
+    The {!decoder} is a pure incremental byte-stream reassembler: feed it
+    whatever chunks [read(2)] produced — one byte at a time, a frame and
+    a half, three frames at once — and pull complete frames out.  That
+    keeps the framing testable without sockets and makes short/split
+    reads a non-event. *)
+
+(** {1 Framing} *)
+
+(** Hard ceiling a decoder enforces on the announced payload length
+    (16 MiB) — a corrupt or hostile length prefix must not make the
+    daemon allocate unboundedly. *)
+val max_frame_default : int
+
+exception Frame_too_large of { announced : int; max : int }
+
+type decoder
+
+val decoder : ?max_frame:int -> unit -> decoder
+
+(** [feed d buf off len] appends bytes into the reassembly buffer. *)
+val feed : decoder -> bytes -> int -> int -> unit
+
+(** [next d] pops the next complete frame payload, or [None] when more
+    bytes are needed.
+    @raise Frame_too_large as soon as an oversized length prefix is seen
+    (before any payload is buffered). *)
+val next : decoder -> string option
+
+(** [encode_frame payload] is the prefix + payload, ready to write. *)
+val encode_frame : string -> string
+
+(** Blocking helpers over a file descriptor (used by client and tests;
+    the daemon feeds its decoders from the select loop instead).
+    [read_frame] reads exact byte counts — it never consumes bytes past
+    the frame it returns — and returns [None] on a clean EOF at a frame
+    boundary. *)
+val write_frame : Unix.file_descr -> string -> unit
+
+val read_frame : ?max_frame:int -> Unix.file_descr -> string option
+
+(** {1 Requests} *)
+
+exception Bad_request of string
+
+type circuit_src =
+  | Catalog of string  (** a catalog name, e.g. ["s298"] *)
+  | Bench of string  (** inline [.bench] netlist text (content-addressed) *)
+
+(** Common compute parameters; defaults mirror the CLI. *)
+type compute = {
+  src : circuit_src;
+  scale : Circuits.Profiles.scale;
+  seed : int64;
+  chains : int;
+  sim_jobs : int;
+  compact_jobs : int;
+  deadline_s : float option;
+  max_backtracks : int option;
+}
+
+type op =
+  | Ping
+  | Stats
+  | Shutdown
+  | Generate of {
+      c : compute;
+      compact : bool;
+      return_sequence : bool;
+    }
+  | Compact of {
+      c : compute;
+      sequence : string list;  (** one 01x vector per entry *)
+    }
+  | Table of { c : compute }
+
+type request = {
+  id : int;
+  op : op;
+}
+
+val op_name : op -> string
+
+(** Parse one request payload.
+    @raise Bad_request on JSON errors, unknown ops or missing fields. *)
+val request_of_string : string -> request
+
+(** {1 Responses} *)
+
+(** [error_response ~id kind message] renders the typed error payload
+    [{"id":id,"status":kind,"error":message}]; [kind] is ["error"] or
+    ["overloaded"]. *)
+val error_response : id:int -> string -> string -> string

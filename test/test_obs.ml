@@ -197,6 +197,92 @@ let test_files () =
   Sys.remove mpath;
   Sys.remove tpath
 
+(* ------------------------------------------------------------- json *)
+
+let test_json_escape_control_chars () =
+  (* Every control character must leave as an escape, never raw. *)
+  for c = 0 to 0x1F do
+    let s = Printf.sprintf "a%cb" (Char.chr c) in
+    let e = Obs.Json.escape s in
+    Alcotest.(check bool)
+      (Printf.sprintf "U+%04x escaped" c)
+      true
+      (String.for_all (fun ch -> Char.code ch >= 0x20) e)
+  done;
+  Alcotest.(check string) "quote" "\"a\\u0000b\"" (Obs.Json.quote "a\000b")
+
+let test_json_float_rejects_non_finite () =
+  List.iter
+    (fun f ->
+      match Obs.Json.float f with
+      | _ -> Alcotest.failf "accepted %f" f
+      | exception Obs.Json.Non_finite _ -> ())
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  Alcotest.(check string) "finite ok" "1.5" (Obs.Json.float 1.5);
+  (match Obs.Json.to_string (Obs.Json.Float Float.nan) with
+   | _ -> Alcotest.fail "to_string accepted NaN"
+   | exception Obs.Json.Non_finite _ -> ())
+
+let test_json_parse_basics () =
+  let open Obs.Json in
+  Alcotest.(check bool) "null" true (parse "null" = Null);
+  Alcotest.(check bool) "int" true (parse " -42 " = Int (-42));
+  Alcotest.(check bool) "float" true (parse "2.5e1" = Float 25.0);
+  Alcotest.(check bool) "nested" true
+    (parse "{\"a\":[1,true,\"x\"],\"b\":{}}"
+     = Obj [ "a", Arr [ Int 1; Bool true; Str "x" ]; "b", Obj [] ]);
+  Alcotest.(check bool) "unicode escape" true
+    (parse "\"\\u0041\\u00e9\"" = Str "A\xc3\xa9");
+  List.iter
+    (fun bad ->
+      match parse bad with
+      | _ -> Alcotest.failf "accepted %S" bad
+      | exception Parse_error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\"}"; "nul"; "1 2"; "\"\n\""; "\"unterminated" ]
+
+(* QCheck: every generated document survives an emit/parse roundtrip.
+   Floats are drawn from finite doubles only (non-finite ones are the
+   typed-error case tested above); 17-digit emission makes them exact. *)
+let json_value_gen =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [ return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun i -> Obs.Json.Int i) int;
+        map
+          (fun f ->
+            Obs.Json.Float (if Float.is_finite f then f else 0.5))
+          float;
+        map (fun s -> Obs.Json.Str s) string ]
+  in
+  sized (fun size ->
+      fix
+        (fun self size ->
+          if size <= 0 then scalar
+          else
+            frequency
+              [ 3, scalar;
+                1,
+                map (fun xs -> Obs.Json.Arr xs)
+                  (list_size (int_bound 4) (self (size / 2)));
+                1,
+                map (fun fields -> Obs.Json.Obj fields)
+                  (list_size (int_bound 4)
+                     (pair (small_string ?gen:None) (self (size / 2)))) ])
+        (min size 12))
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"json emit/parse roundtrip"
+    json_value_gen (fun v ->
+      Obs.Json.parse (Obs.Json.to_string v) = v)
+
+let prop_json_string_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"json string escape roundtrip"
+    QCheck2.Gen.string (fun s ->
+      (* arbitrary bytes, including control characters and quotes *)
+      Obs.Json.parse (Obs.Json.quote s) = Obs.Json.Str s)
+
 let () =
   Alcotest.run "obs"
     [
@@ -219,4 +305,12 @@ let () =
           Alcotest.test_case "merge" `Quick test_metrics_merge;
           Alcotest.test_case "json" `Quick test_metrics_json;
           Alcotest.test_case "file output" `Quick test_files ] );
+      ( "json",
+        [ Alcotest.test_case "control chars escaped" `Quick
+            test_json_escape_control_chars;
+          Alcotest.test_case "non-finite floats rejected" `Quick
+            test_json_float_rejects_non_finite;
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+          QCheck_alcotest.to_alcotest prop_json_string_roundtrip ] );
     ]
