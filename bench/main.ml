@@ -762,7 +762,21 @@ let metrics_json (m : Obs.Metrics.t) =
          (fun (name, v) -> Printf.sprintf "\"%s\": %d" (json_escape name) v)
          (Obs.Counters.to_alist (Obs.Metrics.counters m)))
   in
-  Printf.sprintf "\"phases\": {%s}, \"counters\": {%s}" phases counters
+  let histograms =
+    String.concat ", "
+      (List.map
+         (fun (name, h) ->
+           Printf.sprintf
+             "\"%s\": {\"count\": %d, \"sum\": %d, \"p50\": %d, \"p90\": %d, \
+              \"p99\": %d}"
+             (json_escape name) (Obs.Hist.count h) (Obs.Hist.sum h)
+             (Obs.Hist.percentile h 0.50)
+             (Obs.Hist.percentile h 0.90)
+             (Obs.Hist.percentile h 0.99))
+         (Obs.Metrics.hists m))
+  in
+  Printf.sprintf "\"phases\": {%s}, \"counters\": {%s}, \"histograms\": {%s}"
+    phases counters histograms
 
 let write_bench_json path ~scale ~jobs ~total_wall_s ~pipelines ~engines
     ~kernel_rows =

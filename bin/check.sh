@@ -44,7 +44,8 @@ tmpdir=$(mktemp -d)
 keep_artifacts() {
   if [ -n "${CHECK_ARTIFACTS:-}" ]; then
     mkdir -p "$CHECK_ARTIFACTS"
-    cp -f "$tmpdir"/*.json "$tmpdir"/*.jsonl "$CHECK_ARTIFACTS"/ 2>/dev/null || true
+    cp -f "$tmpdir"/*.json "$tmpdir"/*.jsonl "$tmpdir"/*.txt \
+      "$CHECK_ARTIFACTS"/ 2>/dev/null || true
   fi
 }
 trap 'keep_artifacts; rm -rf "$tmpdir"' EXIT
@@ -223,5 +224,47 @@ jq -es 'all(.[]; .status == "ok" or .status == "degraded")' \
 jq -es 'length == 2 and all(.[]; has("id") and has("op") and has("status"))' \
   "$tmpdir/access.jsonl" > /dev/null \
   || fail "access log not well-formed after drain"
+
+echo "== observability smoke test =="
+# Daemon with the full observability plane on: Chrome trace export, a
+# zero slow threshold (every compute request logs its span tree) and the
+# enriched access log.  While it is up, the Prometheus exposition must
+# pass a line lint; after drain the trace must be a Perfetto-loadable
+# trace-event array.
+cat > "$tmpdir/obs-requests.jsonl" <<'EOF'
+{"op":"generate","circuit":"s27","seed":7}
+EOF
+"$scanatpg_bin" serve --socket "$tmpdir/obs.sock" --quiet \
+  --trace "$tmpdir/trace-chrome.json" --trace-format chrome --slow-ms 0 \
+  --access-log "$tmpdir/obs-access.jsonl" &
+serve_pid=$!
+i=0
+while [ ! -S "$tmpdir/obs.sock" ] && [ "$i" -lt 50 ]; do
+  i=$((i + 1)); sleep 0.1
+done
+[ -S "$tmpdir/obs.sock" ] || fail "obs daemon socket never appeared"
+"$scanatpg_bin" batch --socket "$tmpdir/obs.sock" \
+  "$tmpdir/obs-requests.jsonl" -o "$tmpdir/obs-responses.jsonl" \
+  2> /dev/null || fail "batch against obs daemon"
+"$scanatpg_bin" stats --socket "$tmpdir/obs.sock" --prom \
+  > "$tmpdir/stats-prom.txt" 2> /dev/null || fail "scanatpg stats --prom"
+# Prometheus text lint: every line is a bare name{labels} value sample.
+if grep -Evq '^[a-z_]+(\{[^}]*\})? [0-9.eE+-]+$' "$tmpdir/stats-prom.txt"; then
+  fail "prometheus exposition has a malformed line"
+fi
+grep -q '^scanatpg_hist{name="server\.e2e_ns",quantile="0\.99"} ' \
+  "$tmpdir/stats-prom.txt" || fail "prometheus e2e p99 sample missing"
+printf '{"op":"shutdown"}\n' > "$tmpdir/obs-shutdown.jsonl"
+"$scanatpg_bin" batch --socket "$tmpdir/obs.sock" \
+  "$tmpdir/obs-shutdown.jsonl" 2> /dev/null || fail "obs daemon shutdown"
+wait "$serve_pid" || fail "obs daemon exited non-zero after shutdown"
+jq -e 'type == "array" and length >= 1
+       and all(.[]; .ph == "X" and has("ts") and has("dur") and has("name"))' \
+  "$tmpdir/trace-chrome.json" > /dev/null \
+  || fail "chrome trace is not a well-formed trace-event array"
+jq -es 'any(.[]; .op == "generate" and has("spans") and has("trace_id")
+            and has("queue_wait_ns") and has("service_ns"))' \
+  "$tmpdir/obs-access.jsonl" > /dev/null \
+  || fail "slow request did not log an enriched line with its span tree"
 
 echo "check: OK"

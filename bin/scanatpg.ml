@@ -12,6 +12,8 @@
      diagnose   rank fault candidates against an observed failing response
      serve      ATPG service daemon over a Unix socket (DESIGN.md #11)
      batch      pipeline a JSONL request file to a running daemon
+     stats      fetch a daemon's live metrics (JSON or Prometheus text)
+     top        watch a daemon: rps, latency percentiles, cache hit rate
 
    Circuits are named from the built-in catalog ("s27", "s298", ..., "b11")
    or given as a path to a .bench file.
@@ -88,8 +90,17 @@ let trace_arg =
   Arg.(
     value & opt (some string) None
     & info [ "trace" ] ~docv:"FILE"
-        ~doc:"Write phase spans as JSON lines (one span object per line) \
-              to $(docv).")
+        ~doc:"Write phase spans to $(docv) (format chosen by \
+              $(b,--trace-format)).")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:"Span format for $(b,--trace): $(b,jsonl) (one span object \
+              per line) or $(b,chrome) (Chrome trace-event JSON, loadable \
+              in Perfetto or chrome://tracing).")
 
 (* ------------------------------------------------------------- helpers *)
 
@@ -162,7 +173,7 @@ let omission_summary (o : Compaction.Omission.stats) =
    stays clean.  The files are written even when [f] raises (e.g. a
    --halt-after stop), so partial runs still leave well-formed
    observability output behind. *)
-let with_obs ~metrics_path ~trace_path f =
+let with_obs ~metrics_path ~trace_path ?(trace_format = `Jsonl) f =
   let metrics = Obs.Metrics.create () in
   let trace =
     match trace_path with
@@ -178,7 +189,9 @@ let with_obs ~metrics_path ~trace_path f =
         metrics_path;
       Option.iter
         (fun p ->
-          Obs.Trace.write_jsonl trace p;
+          (match trace_format with
+           | `Jsonl -> Obs.Trace.write_jsonl trace p
+           | `Chrome -> Obs.Trace.write_chrome trace p);
           Printf.eprintf "wrote %s\n" p)
         trace_path)
     (fun () -> f metrics trace)
@@ -186,8 +199,8 @@ let with_obs ~metrics_path ~trace_path f =
 (* ---------------------------------------------------------------- info *)
 
 let info_cmd =
-  let run spec scale metrics_path trace_path =
-    with_obs ~metrics_path ~trace_path (fun metrics trace ->
+  let run spec scale metrics_path trace_path trace_format =
+    with_obs ~metrics_path ~trace_path ~trace_format (fun metrics trace ->
         let c =
           Obs.Metrics.timed metrics ~trace "load" (fun () ->
               load_circuit ~scale spec)
@@ -209,13 +222,15 @@ let info_cmd =
     0
   in
   Cmd.v (Cmd.info "info" ~doc:"Show circuit structure and fault statistics.")
-    Term.(const run $ circuit_arg $ scale_arg $ metrics_arg $ trace_arg)
+    Term.(
+      const run $ circuit_arg $ scale_arg $ metrics_arg $ trace_arg
+      $ trace_format_arg)
 
 (* -------------------------------------------------------------- export *)
 
 let export_cmd =
-  let run spec scale out metrics_path trace_path =
-    with_obs ~metrics_path ~trace_path (fun metrics trace ->
+  let run spec scale out metrics_path trace_path trace_format =
+    with_obs ~metrics_path ~trace_path ~trace_format (fun metrics trace ->
         let c =
           Obs.Metrics.timed metrics ~trace "load" (fun () ->
               load_circuit ~scale spec)
@@ -229,7 +244,9 @@ let export_cmd =
     0
   in
   Cmd.v (Cmd.info "export" ~doc:"Write a catalog circuit in .bench format.")
-    Term.(const run $ circuit_arg $ scale_arg $ out_arg $ metrics_arg $ trace_arg)
+    Term.(
+      const run $ circuit_arg $ scale_arg $ out_arg $ metrics_arg $ trace_arg
+      $ trace_format_arg)
 
 (* ------------------------------------------------------------ generate *)
 
@@ -251,8 +268,8 @@ let generate_cmd =
                 (reported via --metrics).")
   in
   let run spec scale seed chains jobs compact_jobs no_compact out tester
-      observe metrics_path trace_path =
-    with_obs ~metrics_path ~trace_path (fun metrics trace ->
+      observe metrics_path trace_path trace_format =
+    with_obs ~metrics_path ~trace_path ~trace_format (fun metrics trace ->
         let c = load_circuit ~scale spec in
         let scan, model, cfg =
           setup_scan ~chains ~seed ~jobs ~compact_jobs ~observe c
@@ -307,7 +324,7 @@ let generate_cmd =
     Term.(
       const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ jobs_arg
       $ compact_jobs_arg $ no_compact $ out_arg $ tester_arg $ observe
-      $ metrics_arg $ trace_arg)
+      $ metrics_arg $ trace_arg $ trace_format_arg)
 
 (* ------------------------------------------------------------- compact *)
 
@@ -319,8 +336,8 @@ let compact_cmd =
       & info [] ~docv:"SEQFILE" ~doc:"Sequence file (one 01x vector per line).")
   in
   let run spec scale seed chains jobs compact_jobs seqfile out metrics_path
-      trace_path =
-    with_obs ~metrics_path ~trace_path (fun metrics trace ->
+      trace_path trace_format =
+    with_obs ~metrics_path ~trace_path ~trace_format (fun metrics trace ->
         let c = load_circuit ~scale spec in
         let scan, model, cfg = setup_scan ~chains ~seed ~jobs ~compact_jobs c in
         let seq = read_sequence seqfile in
@@ -350,7 +367,8 @@ let compact_cmd =
        ~doc:"Statically compact a test sequence (restoration, then omission).")
     Term.(
       const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ jobs_arg
-      $ compact_jobs_arg $ seq_arg $ out_arg $ metrics_arg $ trace_arg)
+      $ compact_jobs_arg $ seq_arg $ out_arg $ metrics_arg $ trace_arg
+      $ trace_format_arg)
 
 (* --------------------------------------------------------------- table *)
 
@@ -384,8 +402,8 @@ let table_cmd =
                 (reported via --metrics).")
   in
   let run which names scale csv jobs compact_jobs verbose observe metrics_path
-      trace_path =
-    with_obs ~metrics_path ~trace_path (fun metrics trace ->
+      trace_path trace_format =
+    with_obs ~metrics_path ~trace_path ~trace_format (fun metrics trace ->
         let results =
           List.map
             (fun n ->
@@ -425,7 +443,8 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Regenerate rows of the paper's Tables 5-7.")
     Term.(
       const run $ which_arg $ circuits_arg $ scale_arg $ csv_arg $ jobs_arg
-      $ compact_jobs_arg $ verbose_arg $ observe_arg $ metrics_arg $ trace_arg)
+      $ compact_jobs_arg $ verbose_arg $ observe_arg $ metrics_arg $ trace_arg
+      $ trace_format_arg)
 
 (* ----------------------------------------------------------------- run *)
 
@@ -488,8 +507,8 @@ let run_cmd =
                 (reported via --metrics).")
   in
   let run spec scale seed chains jobs compact_jobs observe deadline backtracks
-      checkpoint resume every halt_after metrics_path trace_path =
-    with_obs ~metrics_path ~trace_path (fun metrics trace ->
+      checkpoint resume every halt_after metrics_path trace_path trace_format =
+    with_obs ~metrics_path ~trace_path ~trace_format (fun metrics trace ->
         let c = Circuits.Catalog.circuit ~scale spec in
         let config =
           Core.Config.with_compact_jobs compact_jobs
@@ -548,7 +567,7 @@ let run_cmd =
       const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ jobs_arg
       $ compact_jobs_arg $ observe_arg $ deadline_arg $ backtracks_arg
       $ checkpoint_arg $ resume_arg $ every_arg $ halt_arg $ metrics_arg
-      $ trace_arg)
+      $ trace_arg $ trace_format_arg)
 
 (* ------------------------------------------------------------ diagnose *)
 
@@ -572,8 +591,9 @@ let diagnose_cmd =
       value & opt int 10
       & info [ "top" ] ~docv:"K" ~doc:"Show the $(docv) best-ranked candidates.")
   in
-  let run spec scale chains seqfile inject top metrics_path trace_path =
-    with_obs ~metrics_path ~trace_path (fun metrics trace ->
+  let run spec scale chains seqfile inject top metrics_path trace_path
+      trace_format =
+    with_obs ~metrics_path ~trace_path ~trace_format (fun metrics trace ->
         let c = load_circuit ~scale spec in
         let _scan, model, _cfg = setup_scan ~chains ~seed:0L ~jobs:1 c in
         let seq = read_sequence seqfile in
@@ -611,7 +631,7 @@ let diagnose_cmd =
              response (cause-effect diagnosis).")
     Term.(
       const run $ circuit_arg $ scale_arg $ chains_arg $ seq_arg $ inject_arg
-      $ top_arg $ metrics_arg $ trace_arg)
+      $ top_arg $ metrics_arg $ trace_arg $ trace_format_arg)
 
 (* --------------------------------------------------------------- serve *)
 
@@ -670,7 +690,17 @@ let serve_cmd =
       value & opt (some string) None
       & info [ "access-log" ] ~docv:"FILE"
           ~doc:"Write one JSON line per request (id, op, circuit, status, \
-                cache) to $(docv) at drain.")
+                cache, trace_id, queue_wait_ns, service_ns, bytes in/out) \
+                to $(docv), flushed per line so $(b,tail -f) follows a \
+                live daemon.")
+  in
+  let slow_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:"Slow-request log: a request whose end-to-end latency \
+                exceeds $(docv) milliseconds dumps its full span tree \
+                into its access-log line.")
   in
   let grace_arg =
     Arg.(
@@ -684,7 +714,8 @@ let serve_cmd =
       value & flag
       & info [ "quiet"; "q" ] ~doc:"Suppress lifecycle messages on stderr.")
   in
-  let run socket tcp jobs queue cache scale access grace metrics_path quiet =
+  let run socket tcp jobs queue cache scale access grace metrics_path
+      trace_path trace_format slow_ms quiet =
     Server.Daemon.run
       {
         Server.Daemon.addr = parse_addr socket tcp;
@@ -694,6 +725,12 @@ let serve_cmd =
         default_scale = scale;
         access_log = access;
         metrics_path;
+        trace_path;
+        trace_format =
+          (match trace_format with
+           | `Jsonl -> Server.Daemon.Jsonl
+           | `Chrome -> Server.Daemon.Chrome);
+        slow_ms;
         drain_grace_s = grace;
         install_signals = true;
         verbose = not quiet;
@@ -708,11 +745,12 @@ let serve_cmd =
     (Cmd.info "serve" ~exits
        ~doc:"Run the ATPG service daemon: length-prefixed JSON requests over \
              a Unix-domain socket (or $(b,--tcp)), with circuit caching, \
-             admission control and graceful drain (DESIGN.md \xc2\xa711).")
+             admission control, graceful drain and per-request tracing \
+             (DESIGN.md \xc2\xa711-\xc2\xa712).")
     Term.(
       const run $ socket_arg $ tcp_arg $ server_jobs_arg $ queue_arg
       $ cache_arg $ scale_arg $ access_arg $ grace_arg $ metrics_arg
-      $ quiet_arg)
+      $ trace_arg $ trace_format_arg $ slow_arg $ quiet_arg)
 
 (* --------------------------------------------------------------- batch *)
 
@@ -751,6 +789,155 @@ let batch_cmd =
              the responses by id, and write them in request order.")
     Term.(const run $ socket_arg $ tcp_arg $ input_arg $ out_arg)
 
+(* --------------------------------------------------------------- stats *)
+
+let fetch_stats conn ~prom =
+  let req =
+    if prom then "{\"id\": 1, \"op\": \"stats\", \"format\": \"prometheus\"}"
+    else "{\"id\": 1, \"op\": \"stats\"}"
+  in
+  Server.Client.call conn req
+
+let stats_cmd =
+  let prom_arg =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:"Print the Prometheus text exposition instead of the JSON \
+                document.")
+  in
+  let run socket tcp prom =
+    let conn = Server.Client.connect (parse_addr socket tcp) in
+    Fun.protect
+      ~finally:(fun () -> Server.Client.close conn)
+      (fun () ->
+        let resp = fetch_stats conn ~prom in
+        if prom then begin
+          match
+            Option.bind
+              (Obs.Json.member "text" (Obs.Json.parse resp))
+              Obs.Json.get_str
+          with
+          | Some text ->
+            print_string text;
+            0
+          | None ->
+            Printf.eprintf "scanatpg stats: unexpected response: %s\n" resp;
+            1
+        end
+        else begin
+          print_string resp;
+          print_newline ();
+          0
+        end)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Fetch a running daemon's live metrics: counters, phase \
+             timings, latency histograms with percentiles — as JSON or \
+             ($(b,--prom)) Prometheus text exposition.")
+    Term.(const run $ socket_arg $ tcp_arg $ prom_arg)
+
+(* ----------------------------------------------------------------- top *)
+
+(* A terse terminal dashboard over the stats op: rps from the counter
+   delta between polls, percentiles from the cumulative latency
+   histograms.  One refreshing line on a tty, one line per poll when
+   piped. *)
+let top_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval"; "n" ] ~docv:"SECONDS"
+          ~doc:"Seconds between polls.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Stop after $(docv) polls (0 = run until interrupted or the \
+                daemon drains).")
+  in
+  let jfield obj name j =
+    Option.bind (Obs.Json.member obj j) (Obs.Json.member name)
+  in
+  let counter j name =
+    match Option.bind (jfield "counters" name j) Obs.Json.get_int with
+    | Some v -> v
+    | None -> 0
+  in
+  let pct j hist p =
+    match
+      Option.bind
+        (Option.bind (jfield "histograms" hist j) (Obs.Json.member p))
+        Obs.Json.get_int
+    with
+    | Some v -> v
+    | None -> 0
+  in
+  let ms ns = Printf.sprintf "%.1fms" (float_of_int ns /. 1e6) in
+  let render j ~rps =
+    let hit = counter j "server.cache_hit" in
+    let miss = counter j "server.cache_miss" in
+    let cache =
+      if hit + miss = 0 then "-"
+      else Printf.sprintf "%.1f%%" (100. *. float_of_int hit /. float_of_int (hit + miss))
+    in
+    Printf.sprintf
+      "rps %6.1f | inflight %d | e2e p50 %s p95 %s p99 %s | queue p95 %s | \
+       cache %s | reqs %d"
+      rps
+      (counter j "server.inflight")
+      (ms (pct j "server.e2e_ns" "p50"))
+      (ms (pct j "server.e2e_ns" "p95"))
+      (ms (pct j "server.e2e_ns" "p99"))
+      (ms (pct j "server.queue_wait_ns" "p95"))
+      cache
+      (counter j "server.accepted")
+  in
+  let run socket tcp interval count =
+    let conn = Server.Client.connect (parse_addr socket tcp) in
+    let tty = Unix.isatty Unix.stdout in
+    Fun.protect
+      ~finally:(fun () -> Server.Client.close conn)
+      (fun () ->
+        let rec loop i prev =
+          match fetch_stats conn ~prom:false with
+          | exception (Failure _ | Unix.Unix_error _) ->
+            (* The daemon drained mid-watch: not an error for a monitor. *)
+            if tty then print_newline ();
+            Printf.eprintf "scanatpg top: daemon went away\n";
+            0
+          | resp ->
+            let j = Obs.Json.parse resp in
+            let now = Unix.gettimeofday () in
+            let accepted = counter j "server.accepted" in
+            let rps =
+              match prev with
+              | Some (pa, pt) when now > pt ->
+                float_of_int (accepted - pa) /. (now -. pt)
+              | _ -> 0.0
+            in
+            if tty then Printf.printf "\r\027[2K%s%!" (render j ~rps)
+            else Printf.printf "%s\n%!" (render j ~rps);
+            if count > 0 && i + 1 >= count then begin
+              if tty then print_newline ();
+              0
+            end
+            else begin
+              Unix.sleepf interval;
+              loop (i + 1) (Some (accepted, now))
+            end
+        in
+        loop 0 None)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Watch a running daemon: requests per second, in-flight count, \
+             queue-wait and end-to-end latency percentiles, cache hit \
+             rate — refreshed every $(b,--interval) seconds.")
+    Term.(const run $ socket_arg $ tcp_arg $ interval_arg $ count_arg)
+
 (* ---------------------------------------------------------------- main *)
 
 let () =
@@ -774,7 +961,8 @@ let () =
         (Cmd.group
            (Cmd.info "scanatpg" ~version:"1.0.0" ~doc ~exits)
            [ info_cmd; export_cmd; generate_cmd; compact_cmd; table_cmd;
-             run_cmd; diagnose_cmd; serve_cmd; batch_cmd ])
+             run_cmd; diagnose_cmd; serve_cmd; batch_cmd; stats_cmd;
+             top_cmd ])
     with
     | Netlist.Bench_format.Parse_error { line; col; token; message } ->
       Printf.eprintf "scanatpg: parse error at line %d, column %d (%S): %s\n"

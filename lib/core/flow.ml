@@ -75,7 +75,14 @@ let record_telemetry metrics ~observe (atpg : Atpg.Podem.stats) session =
 
 let generate ?metrics ?(budget = Obs.Budget.unlimited) ?resume
     ?(checkpoint_every = 0) ?(on_checkpoint = fun (_ : cursor) -> ())
-    (cfg : Config.t) sk model =
+    ?(trace = Obs.Trace.null) (cfg : Config.t) sk model =
+  (* Stage timer: a span always, plus a phase when a metrics document is
+     attached.  Stage names are the daemon's per-request span vocabulary. *)
+  let timed name f =
+    match metrics with
+    | Some m -> Obs.Metrics.timed m ~trace name f
+    | None -> Obs.Trace.with_span trace name f
+  in
   let scan = Atpg.Scan_knowledge.scan sk in
   let universe = Model.fault_count model in
   let target_ids, pruned_redundant =
@@ -84,8 +91,9 @@ let generate ?metrics ?(budget = Obs.Budget.unlimited) ?resume
     | None ->
       if cfg.Config.prune_redundant then begin
         let t, r, _unknown =
-          Testability.partition ~budget model
-            ~backtrack_limit:cfg.Config.redundancy_budget
+          timed "flow.prune" (fun () ->
+              Testability.partition ~budget model
+                ~backtrack_limit:cfg.Config.redundancy_budget)
         in
         t, Array.length r
       end
@@ -133,13 +141,14 @@ let generate ?metrics ?(budget = Obs.Budget.unlimited) ?resume
      (match cfg.Config.random_phase with
       | None -> ()
       | Some rp_cfg ->
-        ignore
-          (Atpg.Random_phase.run
-             ~record:(fun burst -> segments := burst :: !segments)
-             ~budget session model
-             ~scan_sel_position:(Scan.sel_position scan)
-             ~rng:(Prng.Rng.split rng) rp_cfg);
-        by_random := Faultsim.detected_count session));
+        timed "flow.random" (fun () ->
+            ignore
+              (Atpg.Random_phase.run
+                 ~record:(fun burst -> segments := burst :: !segments)
+                 ~budget session model
+                 ~scan_sel_position:(Scan.sel_position scan)
+                 ~rng:(Prng.Rng.split rng) rp_cfg);
+            by_random := Faultsim.detected_count session)));
   (* Phase 2: deterministic, one target fault at a time. *)
   let commit fid vecs counter =
     (* A candidate subsequence is committed only when simulation confirms it
@@ -232,14 +241,15 @@ let generate ?metrics ?(budget = Obs.Budget.unlimited) ?resume
        | Some c -> c.c_next_fault
        | None -> 0)
   in
-  while !i < n && Obs.Budget.check budget do
-    attempt cfg.Config.atpg target_ids.(!i);
-    incr i;
-    if checkpoint_every > 0 && !commits >= checkpoint_every then begin
-      commits := 0;
-      on_checkpoint (snapshot !i)
-    end
-  done;
+  timed "flow.atpg" (fun () ->
+      while !i < n && Obs.Budget.check budget do
+        attempt cfg.Config.atpg target_ids.(!i);
+        incr i;
+        if checkpoint_every > 0 && !commits >= checkpoint_every then begin
+          commits := 0;
+          on_checkpoint (snapshot !i)
+        end
+      done);
   if !i < n then begin
     (* Budget tripped: the remaining undetected faults were never attempted;
        they count as aborted so a later run with headroom can re-queue
@@ -263,12 +273,13 @@ let generate ?metrics ?(budget = Obs.Budget.unlimited) ?resume
     in
     let queue = List.rev !aborted in
     aborted := [];
-    List.iter
-      (fun fid ->
-        if Obs.Budget.check budget then attempt esc fid
-        else if Faultsim.detection_time session fid = None then
-          aborted := fid :: !aborted)
-      queue
+    timed "flow.requeue" (fun () ->
+        List.iter
+          (fun fid ->
+            if Obs.Budget.check budget then attempt esc fid
+            else if Faultsim.detection_time session fid = None then
+              aborted := fid :: !aborted)
+          queue)
   end;
   let sequence = Array.concat (List.rev !segments) in
   let targets =

@@ -76,13 +76,19 @@ type cursor = {
     next fault boundary after every [checkpoint_every] committed
     subsequences; [resume] continues generation from such a cursor
     (skipping the random phase and redundancy pruning, which the cursor
-    already accounts for). *)
+    already accounts for).
+
+    [trace] (default {!Obs.Trace.null}) records one span per flow stage —
+    [flow.prune], [flow.random], [flow.atpg], [flow.requeue] — nested
+    under whatever span the caller has open; with [metrics] also given,
+    each stage accumulates a phase of the same name. *)
 val generate :
   ?metrics:Obs.Metrics.t ->
   ?budget:Obs.Budget.t ->
   ?resume:cursor ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(cursor -> unit) ->
+  ?trace:Obs.Trace.t ->
   Config.t -> Atpg.Scan_knowledge.t -> Faultmodel.Model.t -> stats
 
 (** Fault coverage in percent: [detected / targeted]. *)

@@ -204,7 +204,7 @@ let run ?(scale = Circuits.Profiles.Quick) ?config ?metrics ?(trace = Obs.Trace.
       let on_checkpoint cur = save_stage (Checkpoint.Generating cur) in
       let flow =
         Obs.Metrics.timed metrics ~trace "generate" (fun () ->
-            Flow.generate ~metrics ~budget ?resume:gen_resume
+            Flow.generate ~metrics ~budget ~trace ?resume:gen_resume
               ~checkpoint_every:(if checkpoint = None then 0 else checkpoint_every)
               ~on_checkpoint cfg sk model)
       in

@@ -38,6 +38,21 @@ let buckets t =
   done;
   !acc
 
+let percentile t q =
+  if t.count = 0 then 0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.count))) in
+    let cum = ref 0 and i = ref 0 and found = ref (-1) in
+    while !found < 0 && !i < nbuckets do
+      cum := !cum + t.counts.(!i);
+      if !cum >= rank then found := !i;
+      incr i
+    done;
+    let b = if !found < 0 then nbuckets - 1 else !found in
+    if b = 0 then 0 else (1 lsl b) - 1
+  end
+
 let merge_into ~src ~dst =
   dst.count <- dst.count + src.count;
   dst.sum <- dst.sum + src.sum;

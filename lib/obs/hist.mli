@@ -20,6 +20,13 @@ val sum : t -> int
 (** Non-empty buckets as [(inclusive upper bound, count)], ascending. *)
 val buckets : t -> (int * int) list
 
+(** [percentile t q] (for [q] in [0..1], clamped) is the inclusive upper
+    bound of the bucket holding the [ceil (q * count)]-th smallest
+    observation — i.e. an upper estimate of the q-quantile whose error is
+    at most the width of that power-of-two bucket (a factor of 2 of the
+    true value for observations >= 1).  [0] when the histogram is empty. *)
+val percentile : t -> float -> int
+
 val merge_into : src:t -> dst:t -> unit
 
 val copy : t -> t

@@ -27,6 +27,14 @@ let add_hist t name h =
   | Some dst -> Hist.merge_into ~src:h ~dst
   | None -> t.hists <- (name, Hist.copy h) :: t.hists
 
+let observe t name v =
+  match List.assoc_opt name t.hists with
+  | Some h -> Hist.observe h v
+  | None ->
+    let h = Hist.create () in
+    Hist.observe h v;
+    t.hists <- (name, h) :: t.hists
+
 let hists t = List.rev t.hists
 
 let merge_into ~src ~dst =
@@ -64,8 +72,12 @@ let to_json t =
     (fun i (name, h) ->
       if i > 0 then Buffer.add_string b ",";
       Buffer.add_string b
-        (Printf.sprintf "\n    %s: {\"count\": %d, \"sum\": %d, \"buckets\": ["
-           (Json.quote name) (Hist.count h) (Hist.sum h));
+        (Printf.sprintf
+           "\n    %s: {\"count\": %d, \"sum\": %d, \"p50\": %d, \"p90\": %d, \
+            \"p95\": %d, \"p99\": %d, \"buckets\": ["
+           (Json.quote name) (Hist.count h) (Hist.sum h)
+           (Hist.percentile h 0.50) (Hist.percentile h 0.90)
+           (Hist.percentile h 0.95) (Hist.percentile h 0.99));
       List.iteri
         (fun j (upper, n) ->
           if j > 0 then Buffer.add_string b ", ";
@@ -77,3 +89,55 @@ let to_json t =
   Buffer.contents b
 
 let write_file t path = Fileio.write_string path (to_json t)
+
+(* ------------------------------------------------------- prometheus *)
+
+(* The text exposition format recognises exactly three escapes in label
+   values: backslash, double quote and newline. *)
+let prom_label s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Prometheus text exposition of the whole document.  Metric names are
+   fixed ([a-z_] only); the repo's dotted counter/phase/histogram names
+   ride in labels, so nothing needs lossy name mangling.  No comment or
+   TYPE lines: every line is a bare sample, which keeps the output
+   trivially lintable (see bin/check.sh). *)
+let to_prometheus t =
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  List.iter
+    (fun (name, v) -> add "scanatpg_counter{name=\"%s\"} %d\n" (prom_label name) v)
+    (Counters.to_alist t.counters);
+  List.iter
+    (fun (name, s) ->
+      add "scanatpg_phase_seconds{phase=\"%s\"} %s\n" (prom_label name)
+        (Json.float s))
+    (phases t);
+  List.iter
+    (fun (name, h) ->
+      let l = prom_label name in
+      add "scanatpg_hist_count{name=\"%s\"} %d\n" l (Hist.count h);
+      add "scanatpg_hist_sum{name=\"%s\"} %d\n" l (Hist.sum h);
+      let cum = ref 0 in
+      List.iter
+        (fun (upper, n) ->
+          cum := !cum + n;
+          add "scanatpg_hist_bucket{name=\"%s\",le=\"%d\"} %d\n" l upper !cum)
+        (Hist.buckets h);
+      add "scanatpg_hist_bucket{name=\"%s\",le=\"+Inf\"} %d\n" l (Hist.count h);
+      List.iter
+        (fun (q, qs) ->
+          add "scanatpg_hist{name=\"%s\",quantile=\"%s\"} %d\n" l qs
+            (Hist.percentile h q))
+        [ (0.50, "0.5"); (0.90, "0.9"); (0.95, "0.95"); (0.99, "0.99") ])
+    (hists t);
+  Buffer.contents b

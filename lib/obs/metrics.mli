@@ -23,6 +23,12 @@ val phases : t -> (string * float) list
     [name] (registering a copy if absent). *)
 val add_hist : t -> string -> Hist.t -> unit
 
+(** [observe t name v] records one observation directly into the
+    histogram registered under [name] (registering one if absent) — the
+    service latency path, where building a throwaway {!Hist.t} per
+    request just to merge it would be noise. *)
+val observe : t -> string -> int -> unit
+
 val hists : t -> (string * Hist.t) list
 
 (** Bucket-wise / name-wise addition; deterministic in any merge order. *)
@@ -33,5 +39,14 @@ val merge_into : src:t -> dst:t -> unit
 val timed : t -> ?trace:Trace.t -> string -> (unit -> 'a) -> 'a
 
 val to_json : t -> string
+
+(** Prometheus text exposition: every line is a bare
+    [name{labels} value] sample (no comment/TYPE lines).  Counters as
+    [scanatpg_counter{name="..."}], phases as
+    [scanatpg_phase_seconds{phase="..."}], histograms as
+    [scanatpg_hist_count] / [_sum] / cumulative [_bucket{le="..."}]
+    plus [scanatpg_hist{quantile="..."}] percentile samples
+    ({!Hist.percentile} upper bounds). *)
+val to_prometheus : t -> string
 
 val write_file : t -> string -> unit

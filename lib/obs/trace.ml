@@ -50,6 +50,100 @@ let with_span t ?(attrs = []) name f =
 
 let spans t = List.rev t.closed
 
+(* Fold [src]'s completed spans into [dst], the way counters merge: ids are
+   offset past [dst]'s id space (so merged collectors never collide) and
+   [src]'s top-level spans are re-parented under [parent] (a span id of
+   [dst], or [0] to keep them top-level).  [src] is untouched.  Collectors
+   stay single-domain on their hot path; cross-domain aggregation happens
+   only here, at a phase boundary, under the caller's lock. *)
+let merge_into ~src ?(parent = 0) ~dst () =
+  if dst.live && src.live then begin
+    let off = dst.next_id - 1 in
+    let remap = function 0 -> parent | p -> p + off in
+    List.iter
+      (fun s ->
+        dst.closed <-
+          { s with id = s.id + off; parent = remap s.parent } :: dst.closed)
+      (spans src);
+    dst.next_id <- dst.next_id + src.next_id - 1
+  end
+
+(* ------------------------------------------------------------- exports *)
+
+let children_index all =
+  let by_parent = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let siblings =
+        match Hashtbl.find_opt by_parent s.parent with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace by_parent s.parent (s :: siblings))
+    all;
+  fun p ->
+    List.sort
+      (fun a b -> compare a.id b.id)
+      (match Hashtbl.find_opt by_parent p with Some l -> l | None -> [])
+
+let tree_json t =
+  let children = children_index (spans t) in
+  let rec node s =
+    let kids = children s.id in
+    Json.Obj
+      ([ ("name", Json.Str s.name);
+         ("start_ns", Json.Int s.start_ns);
+         ("dur_ns", Json.Int (s.stop_ns - s.start_ns)) ]
+      @ (if s.attrs = [] then []
+         else
+           [ ( "attrs",
+               Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.attrs) ) ])
+      @
+      if kids = [] then [] else [ ("children", Json.Arr (List.map node kids)) ])
+  in
+  Json.Arr (List.map node (children 0))
+
+(* Chrome trace-event JSON (catapult format, Perfetto-loadable): one
+   complete ("ph":"X") event per span, timestamps in microseconds.  Each
+   top-level span and its subtree get their own [tid], so concurrently
+   served requests folded into one collector render as separate tracks
+   instead of a bogus nesting. *)
+let chrome_string t =
+  let all = spans t in
+  let parent_of = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace parent_of s.id s.parent) all;
+  let rec root id =
+    match Hashtbl.find_opt parent_of id with
+    | Some 0 | None -> id
+    | Some p -> root p
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i s ->
+      Buffer.add_string b (if i > 0 then ",\n" else "\n");
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\": %s, \"cat\": \"scanatpg\", \"ph\": \"X\", \
+            \"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %d, \"args\": {"
+           (Json.quote s.name)
+           (float_of_int s.start_ns /. 1000.)
+           (float_of_int (s.stop_ns - s.start_ns) /. 1000.)
+           (root s.id));
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b (Json.quote k);
+          Buffer.add_string b ": ";
+          Buffer.add_string b (Json.quote v))
+        s.attrs;
+      Buffer.add_string b "}}")
+    all;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let write_chrome t path = Fileio.write_string path (chrome_string t)
+
 let span_to_json s =
   let b = Buffer.create 128 in
   Buffer.add_string b

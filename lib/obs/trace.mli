@@ -6,9 +6,13 @@
     one predictable branch when tracing is off (verified by the
     [obs: null-sink span] bench kernel).
 
-    Tracers are single-domain: spans are opened and closed on the
-    orchestrating thread only; simulation workers never touch them (their
-    telemetry flows through per-worker counter records instead). *)
+    Each collector is single-domain: spans are opened and closed on one
+    thread only; simulation workers never touch the orchestrator's
+    collector (their telemetry flows through per-worker counter records
+    instead).  Cross-domain aggregation — e.g. the daemon folding a
+    per-request collector into its global one — goes through
+    {!merge_into} at a phase boundary, under the caller's lock, exactly
+    the way counter records merge. *)
 
 type span = {
   id : int;  (** 1-based, in opening order *)
@@ -36,6 +40,26 @@ val with_span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 
 (** Completed spans, in completion order (children before parents). *)
 val spans : t -> span list
 
+(** [merge_into ~src ?parent ~dst ()] appends [src]'s completed spans to
+    [dst], offsetting ids past [dst]'s id space and re-parenting [src]'s
+    top-level spans under [parent] (default [0]: keep them top-level).
+    A no-op when either collector is {!null}; [src] is left untouched.
+    Deterministic: merge order alone fixes the resulting id assignment. *)
+val merge_into : src:t -> ?parent:int -> dst:t -> unit -> unit
+
+(** Completed spans as a forest of [{name, start_ns, dur_ns, attrs?,
+    children?}] objects — the slow-request log's span-tree payload. *)
+val tree_json : t -> Json.t
+
+(** Chrome trace-event JSON (catapult array format, loadable in Perfetto
+    or chrome://tracing): one complete ["ph": "X"] event per span with
+    [ts]/[dur] in microseconds; each top-level span's subtree gets its
+    own [tid] so folded concurrent requests render as separate tracks. *)
+val chrome_string : t -> string
+
+(** {!chrome_string} to a file, atomically via {!Fileio}. *)
+val write_chrome : t -> string -> unit
+
 (** One JSON object per line: [name], [start_ns], [stop_ns], [id],
-    [parent], [attrs]. *)
+    [parent], [attrs].  Written atomically via {!Fileio}. *)
 val write_jsonl : t -> string -> unit

@@ -2,6 +2,10 @@ type addr =
   | Unix_sock of string
   | Tcp of string * int
 
+type trace_format =
+  | Jsonl
+  | Chrome
+
 type config = {
   addr : addr;
   jobs : int;
@@ -10,6 +14,9 @@ type config = {
   default_scale : Circuits.Profiles.scale;
   access_log : string option;
   metrics_path : string option;
+  trace_path : string option;
+  trace_format : trace_format;
+  slow_ms : int option;
   drain_grace_s : float;
   install_signals : bool;
   verbose : bool;
@@ -24,6 +31,9 @@ let default_config addr =
     default_scale = Circuits.Profiles.Quick;
     access_log = None;
     metrics_path = None;
+    trace_path = None;
+    trace_format = Jsonl;
+    slow_ms = None;
     drain_grace_s = 5.0;
     install_signals = true;
     verbose = false;
@@ -34,9 +44,11 @@ let default_config addr =
    which also serialises response writes so frames never interleave. *)
 type conn = {
   fd : Unix.file_descr;
+  cid : int;  (* connection serial, for trace ids *)
   peer : string;
   dec : Protocol.decoder;
   wmu : Mutex.t;
+  mutable reqs : int;  (* accept loop only: requests seen on this conn *)
   mutable inflight : int;
   mutable eof : bool;
   mutable closed : bool;
@@ -46,6 +58,9 @@ type job = {
   conn : conn;
   req : Protocol.request;
   budget : Obs.Budget.t;
+  trace_id : string;
+  enq_ns : int;  (* Obs.Clock.now_ns at admission *)
+  bytes_in : int;  (* request frame size (header + payload) *)
 }
 
 type state = {
@@ -57,10 +72,13 @@ type state = {
   mutable draining : bool;  (* guarded by qmu *)
   active : (int, Obs.Budget.t) Hashtbl.t;  (* guarded by qmu *)
   mutable serial : int;  (* guarded by qmu *)
+  mutable next_cid : int;  (* accept loop only *)
   unfinished : int Atomic.t;
   drain_flag : bool Atomic.t;
   logmu : Mutex.t;
-  log : Buffer.t;
+  log : out_channel option;  (* line-buffered; writes guarded by logmu *)
+  trmu : Mutex.t;
+  trace : Obs.Trace.t;  (* global collector; merges guarded by trmu *)
 }
 
 let say st fmt =
@@ -68,23 +86,39 @@ let say st fmt =
     (fun s -> if st.cfg.verbose then Printf.eprintf "scanatpg serve: %s\n%!" s)
     fmt
 
-let log_line st ~id ~peer (meta : Service.meta) =
-  let line =
-    Obs.Json.to_string
-      (Obs.Json.Obj
-         [
-           ("id", Obs.Json.Int id);
-           ("op", Obs.Json.Str meta.Service.op);
-           ("circuit", Obs.Json.Str meta.Service.circuit);
-           ("status", Obs.Json.Str meta.Service.status);
-           ("cache", Obs.Json.Str meta.Service.cache);
-           ("peer", Obs.Json.Str peer);
-         ])
-  in
-  Mutex.lock st.logmu;
-  Buffer.add_string st.log line;
-  Buffer.add_char st.log '\n';
-  Mutex.unlock st.logmu
+(* One access-log line per request, written and flushed immediately so
+   [tail -f] follows a live daemon.  The log is the one CLI-written file
+   that bypasses {!Obs.Fileio}'s atomic temp+rename: a log that only
+   appears at drain is useless for watching a server.  A slow request
+   ([--slow-ms]) carries its full span tree in a [spans] field. *)
+let log_line st ~id ~peer ~trace_id ?(queue_wait_ns = 0) ?(service_ns = 0)
+    ?(bytes_in = 0) ?(bytes_out = 0) ?spans (meta : Service.meta) =
+  match st.log with
+  | None -> ()
+  | Some oc ->
+    let line =
+      Obs.Json.to_string
+        (Obs.Json.Obj
+           ([
+              ("id", Obs.Json.Int id);
+              ("op", Obs.Json.Str meta.Service.op);
+              ("circuit", Obs.Json.Str meta.Service.circuit);
+              ("status", Obs.Json.Str meta.Service.status);
+              ("cache", Obs.Json.Str meta.Service.cache);
+              ("peer", Obs.Json.Str peer);
+              ("trace_id", Obs.Json.Str trace_id);
+              ("queue_wait_ns", Obs.Json.Int queue_wait_ns);
+              ("service_ns", Obs.Json.Int service_ns);
+              ("bytes_in", Obs.Json.Int bytes_in);
+              ("bytes_out", Obs.Json.Int bytes_out);
+            ]
+           @ match spans with None -> [] | Some s -> [ ("spans", s) ]))
+    in
+    Mutex.lock st.logmu;
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock st.logmu
 
 let close_conn_locked conn =
   if not conn.closed then begin
@@ -115,6 +149,55 @@ let finish_one st serial conn =
   Mutex.unlock conn.wmu;
   ignore (Atomic.fetch_and_add st.unfinished (-1))
 
+(* One compute job: latency accounting and per-request tracing around
+   {!Service.execute}.  The per-request collector is single-domain (this
+   worker alone touches it); it folds into the daemon's global collector
+   under [trmu] once the response is on the wire — the same
+   merge-at-phase-boundary discipline the counter records follow, so the
+   traced hot path stays lock-free. *)
+let run_job st serial job =
+  let deq_ns = Obs.Clock.now_ns () in
+  let queue_wait_ns = deq_ns - job.enq_ns in
+  let rt =
+    if Obs.Trace.enabled st.trace || st.cfg.slow_ms <> None then
+      Obs.Trace.create ()
+    else Obs.Trace.null
+  in
+  let payload, meta =
+    Obs.Trace.with_span rt
+      ~attrs:
+        [ ("trace_id", job.trace_id);
+          ("op", Protocol.op_name job.req.Protocol.op) ]
+      "request"
+      (fun () -> Service.execute st.svc ~budget:job.budget ~trace:rt job.req)
+  in
+  let service_ns = Obs.Clock.now_ns () - deq_ns in
+  send st job.conn payload;
+  let e2e_ns = Obs.Clock.now_ns () - job.enq_ns in
+  Service.observe st.svc "server.queue_wait_ns" queue_wait_ns;
+  Service.observe st.svc "server.service_ns" service_ns;
+  Service.observe st.svc ("server.service_ns." ^ meta.Service.op) service_ns;
+  Service.observe st.svc "server.e2e_ns" e2e_ns;
+  let slow =
+    match st.cfg.slow_ms with
+    | Some ms -> e2e_ns > ms * 1_000_000
+    | None -> false
+  in
+  if slow then Service.bump st.svc "server.slow_requests" 1;
+  log_line st ~id:job.req.Protocol.id ~peer:job.conn.peer
+    ~trace_id:job.trace_id ~queue_wait_ns ~service_ns ~bytes_in:job.bytes_in
+    ~bytes_out:(String.length payload + 4)
+    ?spans:
+      (if slow && Obs.Trace.enabled rt then Some (Obs.Trace.tree_json rt)
+       else None)
+    meta;
+  if Obs.Trace.enabled st.trace then begin
+    Mutex.lock st.trmu;
+    Obs.Trace.merge_into ~src:rt ~dst:st.trace ();
+    Mutex.unlock st.trmu
+  end;
+  finish_one st serial job.conn
+
 let worker st =
   let rec loop () =
     Mutex.lock st.qmu;
@@ -125,10 +208,7 @@ let worker st =
     else begin
       let serial, job = Queue.pop st.queue in
       Mutex.unlock st.qmu;
-      let payload, meta = Service.execute st.svc ~budget:job.budget job.req in
-      send st job.conn payload;
-      log_line st ~id:job.req.Protocol.id ~peer:job.conn.peer meta;
-      finish_one st serial job.conn;
+      run_job st serial job;
       loop ()
     end
   in
@@ -138,7 +218,7 @@ let compute_of_op = function
   | Protocol.Generate { c; _ } | Protocol.Compact { c; _ } | Protocol.Table { c }
     ->
     Some c
-  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown -> None
+  | Protocol.Ping | Protocol.Stats _ | Protocol.Shutdown -> None
 
 let circuit_label (c : Protocol.compute) =
   match c.Protocol.src with
@@ -165,25 +245,41 @@ let salvage_id payload =
     | None -> 0)
 
 let handle_payload st conn payload =
+  (* Trace ids are deterministic per connection: [c<cid>-r<n>] — every
+     request on a connection shares the [c<cid>] prefix, and [n] counts
+     requests in arrival order (the accept loop is the only writer). *)
+  conn.reqs <- conn.reqs + 1;
+  let trace_id = Printf.sprintf "c%d-r%d" conn.cid conn.reqs in
+  let bytes_in = String.length payload + 4 in
+  let enq_ns = Obs.Clock.now_ns () in
   match Protocol.request_of_string payload with
   | exception Protocol.Bad_request msg ->
     let id = salvage_id payload in
     Service.bump st.svc "server.bad_request" 1;
-    send st conn (Protocol.error_response ~id "error" msg);
-    log_line st ~id ~peer:conn.peer
+    let resp = Protocol.error_response ~id "error" msg in
+    send st conn resp;
+    log_line st ~id ~peer:conn.peer ~trace_id ~bytes_in
+      ~bytes_out:(String.length resp + 4)
       { Service.status = "error"; op = "?"; circuit = "-"; cache = "-" }
   | req -> (
     match compute_of_op req.Protocol.op with
     | None ->
       (* Admin ops answer inline: they must stay responsive while every
          worker is busy, and shutdown must not queue behind the very work
-         it is asked to drain. *)
+         it is asked to drain.  They never wait in the queue, so their
+         queue-wait is zero by construction. *)
       Service.bump st.svc "server.accepted" 1;
       let resp, meta =
         Service.execute st.svc ~budget:(Obs.Budget.create ()) req
       in
       send st conn resp;
-      log_line st ~id:req.Protocol.id ~peer:conn.peer meta;
+      let service_ns = Obs.Clock.now_ns () - enq_ns in
+      Service.observe st.svc "server.queue_wait_ns" 0;
+      Service.observe st.svc "server.service_ns" service_ns;
+      Service.observe st.svc ("server.service_ns." ^ meta.Service.op) service_ns;
+      Service.observe st.svc "server.e2e_ns" service_ns;
+      log_line st ~id:req.Protocol.id ~peer:conn.peer ~trace_id ~service_ns
+        ~bytes_in ~bytes_out:(String.length resp + 4) meta;
       if req.Protocol.op = Protocol.Shutdown then begin
         say st "shutdown requested by %s" conn.peer;
         request_drain st
@@ -193,8 +289,12 @@ let handle_payload st conn payload =
       let reject reason =
         Mutex.unlock st.qmu;
         Service.bump st.svc "server.rejected" 1;
-        send st conn (Protocol.error_response ~id:req.Protocol.id "overloaded" reason);
-        log_line st ~id:req.Protocol.id ~peer:conn.peer
+        let resp =
+          Protocol.error_response ~id:req.Protocol.id "overloaded" reason
+        in
+        send st conn resp;
+        log_line st ~id:req.Protocol.id ~peer:conn.peer ~trace_id ~bytes_in
+          ~bytes_out:(String.length resp + 4)
           {
             Service.status = "overloaded";
             op = Protocol.op_name req.Protocol.op;
@@ -214,7 +314,8 @@ let handle_payload st conn payload =
         st.serial <- serial + 1;
         Hashtbl.replace st.active serial budget;
         ignore (Atomic.fetch_and_add st.unfinished 1);
-        Queue.push (serial, { conn; req; budget }) st.queue;
+        Queue.push (serial, { conn; req; budget; trace_id; enq_ns; bytes_in })
+          st.queue;
         Mutex.unlock st.qmu;
         Service.bump st.svc "server.accepted" 1;
         Service.bump st.svc "server.inflight" 1;
@@ -318,16 +419,21 @@ let drain st conns listen_fd workers =
       close_conn_locked conn;
       Mutex.unlock conn.wmu)
     conns;
-  (match st.cfg.access_log with
+  (match st.log with
   | None -> ()
-  | Some path ->
+  | Some oc ->
     Mutex.lock st.logmu;
-    let contents = Buffer.contents st.log in
-    Mutex.unlock st.logmu;
-    Obs.Fileio.write_string path contents);
+    (try close_out oc with Sys_error _ -> ());
+    Mutex.unlock st.logmu);
   (match st.cfg.metrics_path with
   | None -> ()
   | Some path -> Obs.Metrics.write_file (Service.metrics_snapshot st.svc) path);
+  (match st.cfg.trace_path with
+  | None -> ()
+  | Some path -> (
+    match st.cfg.trace_format with
+    | Jsonl -> Obs.Trace.write_jsonl st.trace path
+    | Chrome -> Obs.Trace.write_chrome st.trace path));
   (match st.cfg.addr with
   | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | Tcp _ -> ());
@@ -347,10 +453,16 @@ let run cfg =
       draining = false;
       active = Hashtbl.create 16;
       serial = 0;
+      next_cid = 0;
       unfinished = Atomic.make 0;
       drain_flag = Atomic.make false;
       logmu = Mutex.create ();
-      log = Buffer.create 4096;
+      log = Option.map open_out cfg.access_log;
+      trmu = Mutex.create ();
+      trace =
+        (match cfg.trace_path with
+         | Some _ -> Obs.Trace.create ()
+         | None -> Obs.Trace.null);
     }
   in
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
@@ -384,12 +496,15 @@ let run cfg =
             | fd, sa ->
               (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 30.0
                with Unix.Unix_error _ -> ());
+              st.next_cid <- st.next_cid + 1;
               let conn =
                 {
                   fd;
+                  cid = st.next_cid;
                   peer = peer_of_sockaddr sa;
                   dec = Protocol.decoder ();
                   wmu = Mutex.create ();
+                  reqs = 0;
                   inflight = 0;
                   eof = false;
                   closed = false;

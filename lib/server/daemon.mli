@@ -13,12 +13,30 @@
     in-flight work runs to completion — and is budget-tripped once
     [drain_grace_s] elapses, so every admitted request is answered with
     its result or a typed [degraded] response, never cut off mid-frame.
-    After the workers join, the access log and final metrics are flushed
-    through {!Obs.Fileio} and [run] returns 0. *)
+    After the workers join, final metrics and the request trace are
+    written through {!Obs.Fileio} and [run] returns 0.
+
+    Observability plane (DESIGN.md §12): every request gets a
+    deterministic trace id ([c<cid>-r<n>], stable per connection); when
+    [trace_path] or [slow_ms] is set, workers record per-request span
+    trees ([request] → [generate]/[compact] → [flow.*]) into
+    single-domain collectors folded into a global one at completion.
+    Queue-wait, service, end-to-end and per-op latencies feed shared
+    power-of-two histograms, exposed with percentiles by the [stats] op
+    (JSON or Prometheus text).  The access log streams one enriched line
+    per request ([trace_id], [queue_wait_ns], [service_ns], [bytes_in],
+    [bytes_out], [cache]) and is flushed per line so [tail -f] follows a
+    live daemon — the one deliberate exception to the {!Obs.Fileio}
+    atomic-write convention.  All of this is timing-derived and stays
+    out of compute response payloads, which remain byte-deterministic. *)
 
 type addr =
   | Unix_sock of string  (** path of a Unix-domain socket (created) *)
   | Tcp of string * int  (** opt-in TCP, e.g. ("127.0.0.1", 7227) *)
+
+type trace_format =
+  | Jsonl  (** one span object per line (the CLI's [--trace] format) *)
+  | Chrome  (** Chrome trace-event array, loadable in Perfetto *)
 
 type config = {
   addr : addr;
@@ -26,8 +44,13 @@ type config = {
   queue_depth : int;  (** admission bound on waiting requests *)
   cache_capacity : int;  (** compiled circuits kept resident *)
   default_scale : Circuits.Profiles.scale;
-  access_log : string option;  (** JSONL, one line per request, at drain *)
+  access_log : string option;
+      (** JSONL, one line per request, flushed per line (tail-able) *)
   metrics_path : string option;  (** final metrics document, at drain *)
+  trace_path : string option;  (** merged request spans, at drain *)
+  trace_format : trace_format;
+  slow_ms : int option;
+      (** requests over this end-to-end threshold log their span tree *)
   drain_grace_s : float;  (** seconds before a drain trips in-flight budgets *)
   install_signals : bool;  (** SIGTERM/SIGINT → drain (off in tests) *)
   verbose : bool;  (** lifecycle messages on stderr *)

@@ -114,7 +114,7 @@ type compute = {
 
 type op =
   | Ping
-  | Stats
+  | Stats of { prom : bool }
   | Shutdown
   | Generate of {
       c : compute;
@@ -134,7 +134,7 @@ type request = {
 
 let op_name = function
   | Ping -> "ping"
-  | Stats -> "stats"
+  | Stats _ -> "stats"
   | Shutdown -> "shutdown"
   | Generate _ -> "generate"
   | Compact _ -> "compact"
@@ -220,7 +220,14 @@ let request_of_string payload =
       match Json.get_str v with
       | None -> bad "field \"op\" must be a string"
       | Some "ping" -> Ping
-      | Some "stats" -> Stats
+      | Some "stats" ->
+        let prom =
+          match Json.member "format" j with
+          | None | Some (Json.Str "json") -> false
+          | Some (Json.Str "prometheus") -> true
+          | Some _ -> bad "field \"format\" must be \"json\" or \"prometheus\""
+        in
+        Stats { prom }
       | Some "shutdown" -> Shutdown
       | Some "generate" ->
         Generate

@@ -69,7 +69,9 @@ type compute = {
 
 type op =
   | Ping
-  | Stats
+  | Stats of { prom : bool }
+      (** [prom] (request field ["format": "prometheus"]) asks for the
+          Prometheus text exposition instead of the JSON document *)
   | Shutdown
   | Generate of {
       c : compute;

@@ -33,6 +33,9 @@ let with_lock t f =
 let bump t name n =
   with_lock t (fun () -> Obs.Counters.add (Obs.Metrics.counters t.metrics) name n)
 
+let observe t name v =
+  with_lock t (fun () -> Obs.Metrics.observe t.metrics name v)
+
 let metrics_snapshot t =
   with_lock t (fun () ->
       let copy = Obs.Metrics.create () in
@@ -139,21 +142,21 @@ let compact_sequence ~budget ~rm cfg model seq targets =
 
 (* ----------------------------------------------------------- handlers *)
 
-let exec_generate t ~budget ~id c ~compact ~return_sequence =
+let exec_generate t ~budget ~trace ~id c ~compact ~return_sequence =
   let entry, outcome = lookup t c in
   let compiled = entry.Cache.compiled in
   let rm = Obs.Metrics.create () in
   let cfg = config_for compiled c in
   let flow =
-    Obs.Metrics.timed rm "generate" (fun () ->
-        Flow.generate ~metrics:rm ~budget cfg compiled.Cache.sk
+    Obs.Metrics.timed rm ~trace "generate" (fun () ->
+        Flow.generate ~metrics:rm ~budget ~trace cfg compiled.Cache.sk
           compiled.Cache.model)
   in
   let seq = flow.Flow.sequence in
   let final, ostats =
     if compact && not (Obs.Budget.expired budget) then begin
       let omitted, ostats =
-        Obs.Metrics.timed rm "compact" (fun () ->
+        Obs.Metrics.timed rm ~trace "compact" (fun () ->
             compact_sequence ~budget ~rm cfg compiled.Cache.model seq
               flow.Flow.targets)
       in
@@ -192,7 +195,7 @@ let exec_generate t ~budget ~id c ~compact ~return_sequence =
       cache = (match outcome with `Hit -> "hit" | `Miss -> "miss");
     } )
 
-let exec_compact t ~budget ~id c sequence =
+let exec_compact t ~budget ~trace ~id c sequence =
   let entry, outcome = lookup t c in
   let compiled = entry.Cache.compiled in
   let scan = compiled.Cache.scan in
@@ -218,12 +221,12 @@ let exec_compact t ~budget ~id c sequence =
   let cfg = config_for compiled c in
   let nf = Faultmodel.Model.fault_count model in
   let targets =
-    Obs.Metrics.timed rm "target-compute" (fun () ->
+    Obs.Metrics.timed rm ~trace "target-compute" (fun () ->
         Compaction.Target.compute ~jobs:cfg.Config.sim_jobs model seq
           ~fault_ids:(Array.init nf Fun.id))
   in
   let omitted, ostats =
-    Obs.Metrics.timed rm "compact" (fun () ->
+    Obs.Metrics.timed rm ~trace "compact" (fun () ->
         compact_sequence ~budget ~rm cfg model seq targets)
   in
   let status = status_of budget in
@@ -255,7 +258,7 @@ let lengths_json (l : Core.Pipeline.lengths) =
     [ "total", Json.Int l.Core.Pipeline.total;
       "scan", Json.Int l.Core.Pipeline.scan ]
 
-let exec_table t ~budget ~id (c : Protocol.compute) =
+let exec_table t ~budget ~trace ~id (c : Protocol.compute) =
   let name =
     match c.Protocol.src with
     | Protocol.Catalog name -> name
@@ -274,8 +277,8 @@ let exec_table t ~budget ~id (c : Protocol.compute) =
   in
   let rm = Obs.Metrics.create () in
   let r =
-    Core.Pipeline.run ~scale:c.Protocol.scale ~config:cfg ~metrics:rm ~budget
-      name
+    Core.Pipeline.run ~scale:c.Protocol.scale ~config:cfg ~metrics:rm ~trace
+      ~budget name
   in
   let row5 = r.Core.Pipeline.row5 in
   let row6 = r.Core.Pipeline.row6 in
@@ -313,31 +316,53 @@ let exec_table t ~budget ~id (c : Protocol.compute) =
   with_lock t (fun () -> Obs.Metrics.merge_into ~src:rm ~dst:t.metrics);
   Json.to_string (Json.Obj fields), { status; op = "table"; circuit = name; cache = "-" }
 
-let exec_stats (t : t) ~id =
+let exec_stats (t : t) ~id ~prom =
   let m = metrics_snapshot t in
-  let counters =
-    Json.Obj
-      (List.map
-         (fun (name, v) -> name, Json.Int v)
-         (Obs.Counters.to_alist (Obs.Metrics.counters m)))
-  in
-  let phases =
-    Json.Obj
-      (List.map (fun (name, s) -> name, Json.Float s) (Obs.Metrics.phases m))
-  in
   let payload =
-    Json.to_string
-      (Json.Obj
-         [ "id", Json.Int id; "op", Json.Str "stats"; "status", Json.Str "ok";
-           "counters", counters; "phases", phases;
-           ( "cache",
-             Json.Obj
-               [ "entries", Json.Int (Cache.length t.cache);
-                 "capacity", Json.Int (Cache.capacity t.cache) ] ) ])
+    if prom then
+      Json.to_string
+        (Json.Obj
+           [ "id", Json.Int id; "op", Json.Str "stats"; "status", Json.Str "ok";
+             "format", Json.Str "prometheus";
+             "text", Json.Str (Obs.Metrics.to_prometheus m) ])
+    else begin
+      let counters =
+        Json.Obj
+          (List.map
+             (fun (name, v) -> name, Json.Int v)
+             (Obs.Counters.to_alist (Obs.Metrics.counters m)))
+      in
+      let phases =
+        Json.Obj
+          (List.map (fun (name, s) -> name, Json.Float s) (Obs.Metrics.phases m))
+      in
+      let histograms =
+        Json.Obj
+          (List.map
+             (fun (name, h) ->
+               ( name,
+                 Json.Obj
+                   [ "count", Json.Int (Obs.Hist.count h);
+                     "sum", Json.Int (Obs.Hist.sum h);
+                     "p50", Json.Int (Obs.Hist.percentile h 0.50);
+                     "p90", Json.Int (Obs.Hist.percentile h 0.90);
+                     "p95", Json.Int (Obs.Hist.percentile h 0.95);
+                     "p99", Json.Int (Obs.Hist.percentile h 0.99) ] ))
+             (Obs.Metrics.hists m))
+      in
+      Json.to_string
+        (Json.Obj
+           [ "id", Json.Int id; "op", Json.Str "stats"; "status", Json.Str "ok";
+             "counters", counters; "phases", phases; "histograms", histograms;
+             ( "cache",
+               Json.Obj
+                 [ "entries", Json.Int (Cache.length t.cache);
+                   "capacity", Json.Int (Cache.capacity t.cache) ] ) ])
+    end
   in
   payload, { status = "ok"; op = "stats"; circuit = "-"; cache = "-" }
 
-let execute t ~budget (req : Protocol.request) =
+let execute t ~budget ?(trace = Obs.Trace.null) (req : Protocol.request) =
   let id = req.Protocol.id in
   try
     match req.Protocol.op with
@@ -347,7 +372,7 @@ let execute t ~budget (req : Protocol.request) =
              [ "id", Json.Int id; "op", Json.Str "ping";
                "status", Json.Str "ok" ]),
         { status = "ok"; op = "ping"; circuit = "-"; cache = "-" } )
-    | Protocol.Stats -> exec_stats t ~id
+    | Protocol.Stats { prom } -> exec_stats t ~id ~prom
     | Protocol.Shutdown ->
       ( Json.to_string
           (Json.Obj
@@ -355,9 +380,10 @@ let execute t ~budget (req : Protocol.request) =
                "status", Json.Str "ok" ]),
         { status = "ok"; op = "shutdown"; circuit = "-"; cache = "-" } )
     | Protocol.Generate { c; compact; return_sequence } ->
-      exec_generate t ~budget ~id c ~compact ~return_sequence
-    | Protocol.Compact { c; sequence } -> exec_compact t ~budget ~id c sequence
-    | Protocol.Table { c } -> exec_table t ~budget ~id c
+      exec_generate t ~budget ~trace ~id c ~compact ~return_sequence
+    | Protocol.Compact { c; sequence } ->
+      exec_compact t ~budget ~trace ~id c sequence
+    | Protocol.Table { c } -> exec_table t ~budget ~trace ~id c
   with
   | Protocol.Bad_request msg ->
     bump t "server.bad_request" 1;

@@ -31,15 +31,26 @@ type meta = {
   cache : string;  (** hit | miss | - *)
 }
 
-(** [execute t ~budget req] runs the request to completion and returns
-    the response payload.  Never raises: malformed circuits, parse
-    errors and internal failures all map to typed error payloads. *)
-val execute : t -> budget:Obs.Budget.t -> Protocol.request -> string * meta
+(** [execute t ~budget ?trace req] runs the request to completion and
+    returns the response payload.  Never raises: malformed circuits,
+    parse errors and internal failures all map to typed error payloads.
+    [trace] (default {!Obs.Trace.null}) receives the request's phase
+    spans ([generate], [compact], the [flow.*] stages, …); the daemon
+    passes a per-request collector here and folds it into its global one
+    afterwards.  Trace spans never influence the response payload. *)
+val execute :
+  t -> budget:Obs.Budget.t -> ?trace:Obs.Trace.t -> Protocol.request ->
+  string * meta
 
 (** [bump t name n] adds to a shared server counter (thread-safe) — the
     daemon's [server.accepted] / [server.rejected] / [server.inflight]
     accounting. *)
 val bump : t -> string -> int -> unit
+
+(** [observe t name v] records one observation into the shared metrics
+    histogram [name] (thread-safe) — the daemon's queue-wait / service /
+    end-to-end latency accounting. *)
+val observe : t -> string -> int -> unit
 
 (** Snapshot of the shared metrics document (thread-safe copy). *)
 val metrics_snapshot : t -> Obs.Metrics.t

@@ -67,6 +67,41 @@ let test_hist_merge_order_independent () =
     (Obs.Hist.buckets one) (Obs.Hist.buckets merged);
   Alcotest.(check int) "sum preserved" (Obs.Hist.sum one) (Obs.Hist.sum merged)
 
+let test_hist_percentile () =
+  let h = Obs.Hist.create () in
+  Alcotest.(check int) "empty is 0" 0 (Obs.Hist.percentile h 0.5);
+  List.iter (Obs.Hist.observe h) [ 1; 1; 1; 1; 2; 2; 4; 8; 100; 1000 ];
+  (* rank ceil(0.5*10)=5 lands in bucket [2,3] -> upper bound 3 *)
+  Alcotest.(check int) "p50" 3 (Obs.Hist.percentile h 0.5);
+  (* rank 9 is the 100 observation, bucket [64,127] *)
+  Alcotest.(check int) "p90" 127 (Obs.Hist.percentile h 0.9);
+  (* rank 10 is the 1000 observation, bucket [512,1023] *)
+  Alcotest.(check int) "p99" 1023 (Obs.Hist.percentile h 0.99);
+  Alcotest.(check int) "q clamped low = min bucket" 1 (Obs.Hist.percentile h (-1.0));
+  Alcotest.(check int) "q clamped high = max bucket" 1023 (Obs.Hist.percentile h 2.0);
+  let z = Obs.Hist.create () in
+  Obs.Hist.observe z 0;
+  Alcotest.(check int) "all-zero observations" 0 (Obs.Hist.percentile z 0.99)
+
+(* The documented error bound: the reported percentile is an upper bound
+   on the true order statistic, within its power-of-two bucket — i.e.
+   true <= reported <= 2*true - 1 for true >= 1 (exact for 0). *)
+let prop_hist_percentile_bound =
+  QCheck2.Test.make ~count:300 ~name:"hist percentile within bucket width"
+    QCheck2.Gen.(list_size (int_range 1 50) (int_bound 1_000_000))
+    (fun values ->
+      let h = Obs.Hist.create () in
+      List.iter (Obs.Hist.observe h) values;
+      let sorted = List.sort compare values in
+      let n = List.length values in
+      List.for_all
+        (fun q ->
+          let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+          let true_v = List.nth sorted (rank - 1) in
+          let r = Obs.Hist.percentile h q in
+          if true_v = 0 then r = 0 else true_v <= r && r <= (2 * true_v) - 1)
+        [ 0.5; 0.9; 0.99 ])
+
 let test_trace_null_sink () =
   Alcotest.(check bool) "null disabled" false (Obs.Trace.enabled Obs.Trace.null);
   let r = Obs.Trace.with_span Obs.Trace.null "k" (fun () -> 41 + 1) in
@@ -114,6 +149,73 @@ let test_trace_closes_on_raise () =
       s.Obs.Trace.name;
     Alcotest.(check bool) "closed" true (s.Obs.Trace.stop_ns >= s.Obs.Trace.start_ns)
   | l -> Alcotest.failf "expected one span, got %d" (List.length l)
+
+let test_trace_merge () =
+  let mk names =
+    let t = Obs.Trace.create () in
+    List.iter (fun n -> Obs.Trace.with_span t n (fun () -> ())) names;
+    t
+  in
+  let dst = Obs.Trace.create () in
+  Obs.Trace.with_span dst "root" (fun () -> ());
+  let src = mk [ "a"; "b" ] in
+  Obs.Trace.merge_into ~src ~parent:1 ~dst ();
+  let spans = Obs.Trace.spans dst in
+  Alcotest.(check (list string)) "appended in order" [ "root"; "a"; "b" ]
+    (List.map (fun s -> s.Obs.Trace.name) spans);
+  let find n = List.find (fun s -> s.Obs.Trace.name = n) spans in
+  Alcotest.(check int) "ids offset past dst" 2 (find "a").Obs.Trace.id;
+  Alcotest.(check int) "reparented under root" 1 (find "a").Obs.Trace.parent;
+  Alcotest.(check int) "src untouched" 2 (List.length (Obs.Trace.spans src));
+  (* a second merge of another collector lands in fresh id space *)
+  Obs.Trace.merge_into ~src:(mk [ "c" ]) ~dst ();
+  Alcotest.(check int) "second merge offset" 4
+    (List.find (fun s -> s.Obs.Trace.name = "c") (Obs.Trace.spans dst)).Obs.Trace.id;
+  (* null endpoints are no-ops *)
+  Obs.Trace.merge_into ~src:Obs.Trace.null ~dst ();
+  Obs.Trace.merge_into ~src ~dst:Obs.Trace.null ();
+  Alcotest.(check int) "null merges change nothing" 4
+    (List.length (Obs.Trace.spans dst))
+
+let test_trace_chrome_export () =
+  let t = Obs.Trace.create () in
+  Obs.Trace.with_span t "outer \"quoted\"" (fun () ->
+      Obs.Trace.with_span t
+        ~attrs:[ ("k\\ey", "line1\nline2") ]
+        "inner\\slash"
+        (fun () -> ()));
+  let s = Obs.Trace.chrome_string t in
+  (* The export must survive hostile span names: parse it back. *)
+  match Obs.Json.parse s with
+  | Obs.Json.Arr events ->
+    Alcotest.(check int) "one event per span" 2 (List.length events);
+    List.iter
+      (fun e ->
+        List.iter
+          (fun field ->
+            Alcotest.(check bool)
+              (field ^ " present") true
+              (Obs.Json.member field e <> None))
+          [ "name"; "ph"; "ts"; "dur"; "pid"; "tid" ];
+        Alcotest.(check (option string)) "complete event" (Some "X")
+          (Option.bind (Obs.Json.member "ph" e) Obs.Json.get_str))
+      events;
+    let names =
+      List.filter_map
+        (fun e -> Option.bind (Obs.Json.member "name" e) Obs.Json.get_str)
+        events
+    in
+    Alcotest.(check bool) "escaped name roundtrips" true
+      (List.mem "outer \"quoted\"" names && List.mem "inner\\slash" names);
+    let attr =
+      List.find_map
+        (fun e ->
+          Option.bind (Obs.Json.member "args" e) (Obs.Json.member "k\\ey"))
+        events
+    in
+    Alcotest.(check bool) "attr value roundtrips" true
+      (attr = Some (Obs.Json.Str "line1\nline2"))
+  | _ -> Alcotest.fail "chrome export is not a JSON array"
 
 let test_metrics_phases () =
   let m = Obs.Metrics.create () in
@@ -169,6 +271,79 @@ let test_metrics_json () =
   Alcotest.(check bool) "schema tag" true (has "\"scanatpg-metrics/1\"");
   Alcotest.(check bool) "escaped phase name" true (has "gen\\\"erate");
   Alcotest.(check bool) "counter present" true (has "\"sim.frames\": 64")
+
+let test_metrics_observe_and_percentiles () =
+  let m = Obs.Metrics.create () in
+  List.iter (Obs.Metrics.observe m "lat") [ 1; 2; 4; 8; 100 ];
+  (match Obs.Metrics.hists m with
+  | [ ("lat", h) ] -> Alcotest.(check int) "observe creates and fills" 5 (Obs.Hist.count h)
+  | l -> Alcotest.failf "expected one hist, got %d" (List.length l));
+  let j = Obs.Json.parse (Obs.Metrics.to_json m) in
+  let lat = Option.bind (Obs.Json.member "histograms" j) (Obs.Json.member "lat") in
+  let field name =
+    Option.bind (Option.bind lat (Obs.Json.member name)) Obs.Json.get_int
+  in
+  Alcotest.(check (option int)) "p50 in document" (Some 7) (field "p50");
+  Alcotest.(check (option int)) "p99 in document" (Some 127) (field "p99")
+
+(* Every exposition line must be a bare [name{labels} value] sample —
+   the same lint bin/check.sh applies with grep. *)
+let test_metrics_prometheus () =
+  let m = Obs.Metrics.create () in
+  Obs.Counters.add (Obs.Metrics.counters m) "weird\"name\\x" 3;
+  Obs.Metrics.add_phase m "generate" 0.25;
+  List.iter (Obs.Metrics.observe m "server.e2e_ns") [ 5; 9; 1000 ];
+  let text = Obs.Metrics.to_prometheus m in
+  let lines = String.split_on_char '\n' text in
+  Alcotest.(check bool) "ends with newline" true
+    (match List.rev lines with "" :: _ -> true | _ -> false);
+  let samples = List.filter (fun l -> l <> "") lines in
+  Alcotest.(check bool) "non-empty" true (samples <> []);
+  List.iter
+    (fun line ->
+      let sp =
+        (* exactly one separating space: label values are escaped, so no
+           raw space can appear before the value *)
+        match String.rindex_opt line ' ' with
+        | Some i -> i
+        | None -> Alcotest.failf "no value separator in %S" line
+      in
+      let metric = String.sub line 0 sp in
+      let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "value parses in %S" line)
+        true
+        (float_of_string_opt value <> None);
+      let name_end =
+        match String.index_opt metric '{' with
+        | Some i -> i
+        | None -> String.length metric
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "metric name [a-z_] in %S" line)
+        true
+        (name_end > 0
+        && String.for_all
+             (fun c -> (c >= 'a' && c <= 'z') || c = '_')
+             (String.sub metric 0 name_end));
+      if name_end < String.length metric then
+        Alcotest.(check bool)
+          (Printf.sprintf "labels close in %S" line)
+          true
+          (metric.[String.length metric - 1] = '}'))
+    samples;
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length text && (String.sub text i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "label escaping" true
+    (has "scanatpg_counter{name=\"weird\\\"name\\\\x\"} 3");
+  Alcotest.(check bool) "+Inf bucket" true (has "le=\"+Inf\"} 3");
+  Alcotest.(check bool) "quantile samples" true
+    (has "scanatpg_hist{name=\"server.e2e_ns\",quantile=\"0.99\"}")
 
 let test_files () =
   let dir = Filename.temp_file "obs" "" in
@@ -293,17 +468,25 @@ let () =
       ( "hist",
         [ Alcotest.test_case "buckets" `Quick test_hist_buckets;
           Alcotest.test_case "merge order-independent" `Quick
-            test_hist_merge_order_independent ] );
+            test_hist_merge_order_independent;
+          Alcotest.test_case "percentile" `Quick test_hist_percentile;
+          QCheck_alcotest.to_alcotest prop_hist_percentile_bound ] );
       ( "trace",
         [ Alcotest.test_case "null sink" `Quick test_trace_null_sink;
           Alcotest.test_case "nesting" `Quick test_trace_nesting;
-          Alcotest.test_case "closes on raise" `Quick test_trace_closes_on_raise
+          Alcotest.test_case "closes on raise" `Quick test_trace_closes_on_raise;
+          Alcotest.test_case "merge" `Quick test_trace_merge;
+          Alcotest.test_case "chrome export" `Quick test_trace_chrome_export
         ] );
       ( "metrics",
         [ Alcotest.test_case "phase accumulation" `Quick test_metrics_phases;
           Alcotest.test_case "timed" `Quick test_metrics_timed;
           Alcotest.test_case "merge" `Quick test_metrics_merge;
           Alcotest.test_case "json" `Quick test_metrics_json;
+          Alcotest.test_case "observe and percentiles" `Quick
+            test_metrics_observe_and_percentiles;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_metrics_prometheus;
           Alcotest.test_case "file output" `Quick test_files ] );
       ( "json",
         [ Alcotest.test_case "control chars escaped" `Quick

@@ -211,7 +211,7 @@ let temp_sock () =
   (* listen_socket unlinks and rebinds the path *)
   path
 
-let with_daemon ?(jobs = 1) ?(queue_depth = 8) ?access_log
+let with_daemon ?(jobs = 1) ?(queue_depth = 8) ?access_log ?slow_ms
     ?(drain_grace_s = 10.0) f =
   let sock = temp_sock () in
   let addr = Server.Daemon.Unix_sock sock in
@@ -221,6 +221,7 @@ let with_daemon ?(jobs = 1) ?(queue_depth = 8) ?access_log
       Server.Daemon.jobs;
       queue_depth;
       access_log;
+      slow_ms;
       drain_grace_s;
       install_signals = false;
       verbose = false;
@@ -288,10 +289,18 @@ let test_daemon_roundtrip () =
 
 let test_daemon_jobs_determinism () =
   (* the same replay must produce byte-identical compute payloads whether
-     the daemon runs one worker or two *)
+     the daemon runs one worker or two.  A stats request rides along: it
+     snapshots live timing state, so it is the one op excluded from the
+     byte-identity comparison (DESIGN.md §10). *)
   let lines =
-    [ gen_s27; {|{"op":"generate","circuit":"s298","seed":5}|}; gen_s27;
+    [ gen_s27; {|{"op":"stats"}|};
+      {|{"op":"generate","circuit":"s298","seed":5}|}; gen_s27;
       {|{"op":"generate","circuit":"s27","seed":99,"compact_jobs":2}|} ]
+  in
+  let is_stats payload =
+    match J.member "op" (J.parse payload) with
+    | Some (J.Str "stats") -> true
+    | _ -> false
   in
   let run jobs = with_daemon ~jobs (fun addr -> batch addr lines) in
   let r1 = run 1 and r2 = run 2 in
@@ -300,10 +309,14 @@ let test_daemon_jobs_determinism () =
   List.iter
     (fun (status, _) -> Alcotest.(check string) "status ok" "ok" status)
     (r1 @ r2);
+  let compute r = List.filter (fun (_, p) -> not (is_stats p)) r in
+  let c1 = compute r1 and c2 = compute r2 in
+  Alcotest.(check int) "stats filtered" (List.length lines - 1)
+    (List.length c1);
   List.iter2
     (fun (_, p1) (_, p2) ->
       Alcotest.(check string) "payload identical across jobs" p1 p2)
-    r1 r2
+    c1 c2
 
 let test_daemon_bad_request_echoes_id () =
   (* A semantically invalid request (here: compact without "vectors")
@@ -383,8 +396,110 @@ let test_daemon_drain_access_log () =
               match J.member field j with
               | Some _ -> ()
               | None -> Alcotest.fail (Printf.sprintf "missing %s in %s" field l))
-            [ "id"; "op"; "circuit"; "status"; "cache"; "peer" ])
+            [ "id"; "op"; "circuit"; "status"; "cache"; "peer"; "trace_id";
+              "queue_wait_ns"; "service_ns"; "bytes_in"; "bytes_out" ])
         !lines)
+
+let read_log path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       let l = input_line ic in
+       if String.trim l <> "" then lines := l :: !lines
+     done
+   with End_of_file -> close_in_noerr ic);
+  List.rev_map J.parse !lines
+
+(* Access-log entry for request [id], or fail. *)
+let log_entry entries id =
+  match
+    List.find_opt
+      (fun j -> match J.member "id" j with Some (J.Int i) -> i = id | _ -> false)
+      entries
+  with
+  | Some j -> j
+  | None -> Alcotest.failf "no access-log entry for id %d" id
+
+let trace_id_of entry =
+  match J.member "trace_id" entry with
+  | Some (J.Str s) -> s
+  | _ -> Alcotest.fail "entry has no trace_id"
+
+let test_daemon_trace_ids () =
+  (* trace ids are deterministic per connection: c<cid>-r<n> with n
+     counting that connection's requests — unique across the daemon,
+     stable under interleaving with other connections *)
+  let log = Filename.temp_file "scanatpg_acc" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove log with Sys_error _ -> ())
+    (fun () ->
+      with_daemon ~access_log:log (fun addr ->
+          let a = Server.Client.connect addr in
+          let b = Server.Client.connect addr in
+          Fun.protect
+            ~finally:(fun () ->
+              Server.Client.close a;
+              Server.Client.close b)
+            (fun () ->
+              ignore (Server.Client.call a {|{"id":101,"op":"ping"}|});
+              ignore (Server.Client.call a {|{"id":102,"op":"ping"}|});
+              ignore (Server.Client.call b {|{"id":201,"op":"ping"}|});
+              ignore (Server.Client.call a {|{"id":103,"op":"ping"}|})));
+      let entries = read_log log in
+      let parse tid =
+        try Scanf.sscanf tid "c%d-r%d%!" (fun c r -> (c, r))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+          Alcotest.failf "malformed trace id %S" tid
+      in
+      let id n = parse (trace_id_of (log_entry entries n)) in
+      let c1, r1 = id 101 and c2, r2 = id 102 and c3, r3 = id 103 in
+      let cb, rb = id 201 in
+      Alcotest.(check int) "same connection, same cid" c1 c2;
+      Alcotest.(check int) "same connection, same cid (3rd)" c1 c3;
+      Alcotest.(check (list int)) "request counter increments" [ 1; 2; 3 ]
+        [ r1; r2; r3 ];
+      Alcotest.(check bool) "other connection has a distinct cid" true
+        (cb <> c1);
+      Alcotest.(check int) "other connection counts from 1" 1 rb;
+      (* no slow threshold configured: no span trees in the log *)
+      List.iter
+        (fun e ->
+          match J.member "spans" e with
+          | None -> ()
+          | Some _ -> Alcotest.fail "spans present without --slow-ms")
+        entries)
+
+let test_daemon_slow_request_logs_spans () =
+  (* --slow-ms 0: every compute request is over threshold, so its access
+     log line must carry the full span tree *)
+  let log = Filename.temp_file "scanatpg_acc" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove log with Sys_error _ -> ())
+    (fun () ->
+      with_daemon ~access_log:log ~slow_ms:0 (fun addr ->
+          let outcomes =
+            batch addr [ {|{"id":11,"op":"generate","circuit":"s27","seed":7}|} ]
+          in
+          List.iter
+            (fun (status, _) -> Alcotest.(check string) "ok" "ok" status)
+            outcomes);
+      let entry = log_entry (read_log log) 11 in
+      let spans =
+        match J.member "spans" entry with
+        | Some s -> s
+        | None -> Alcotest.fail "slow request logged without spans"
+      in
+      (* the tree is rooted at the request span, op recorded in its attrs *)
+      match spans with
+      | J.Arr (root :: _) -> (
+        (match J.member "name" root with
+        | Some (J.Str n) -> Alcotest.(check string) "root span" "request" n
+        | _ -> Alcotest.fail "root span has no name");
+        match J.member "children" root with
+        | Some (J.Arr (_ :: _)) -> ()
+        | _ -> Alcotest.fail "request span has no child phases")
+      | _ -> Alcotest.fail "spans is not a non-empty array")
 
 let () =
   Alcotest.run "server"
@@ -420,5 +535,9 @@ let () =
             test_daemon_admission_control;
           Alcotest.test_case "drain access log" `Quick
             test_daemon_drain_access_log;
+          Alcotest.test_case "trace ids per connection" `Quick
+            test_daemon_trace_ids;
+          Alcotest.test_case "slow request logs spans" `Quick
+            test_daemon_slow_request_logs_spans;
         ] );
     ]
