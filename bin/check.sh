@@ -2,13 +2,17 @@
 # Pre-merge gate: everything must build (libraries, executables, examples,
 # docs) and the whole test suite must pass.  Run from the repo root:
 #
-#     bin/check.sh [--quick]
+#     bin/check.sh [--quick | --chaos]
 #
 # CI and local development use the same gate; a change is mergeable only
 # when this script exits 0.  --quick stops after the build, the test suite
 # and the telemetry smoke test (the cheap subset CI runs per matrix leg);
 # the full gate adds the degraded-run, kill-and-resume and speculative-
-# compaction smoke tests.
+# compaction smoke tests.  --chaos builds and then soaks the daemon under
+# deterministic fault injection (seed pinned via CHAOS_SEED, default 42):
+# every request must end in exactly one typed outcome, the daemon must
+# survive and drain cleanly, and a retried batch must be byte-identical
+# to an uninterrupted one.
 #
 # Set CHECK_ARTIFACTS to a directory to keep the metrics/trace documents
 # the smoke tests produce (CI uploads them as build artifacts).
@@ -16,10 +20,15 @@ set -eu
 cd "$(dirname "$0")/.."
 
 quick=0
+chaos=0
 for arg in "$@"; do
   case "$arg" in
     --quick) quick=1 ;;
-    *) echo "check.sh: unknown argument '$arg' (expected --quick)" >&2; exit 2 ;;
+    --chaos) chaos=1 ;;
+    *)
+      echo "check.sh: unknown argument '$arg' (expected --quick or --chaos)" >&2
+      exit 2
+      ;;
   esac
 done
 
@@ -52,6 +61,106 @@ trap 'keep_artifacts; rm -rf "$tmpdir"' EXIT
 
 echo "== dune build @all =="
 dune build @all || fail "dune build @all"
+
+if [ "$chaos" -eq 1 ]; then
+  scanatpg_bin=./_build/default/bin/scanatpg.exe
+  [ -x "$scanatpg_bin" ] || fail "missing $scanatpg_bin (dune build @all ran?)"
+  : "${CHAOS_SEED:=42}"
+  : "${CHAOS_REQUESTS:=200}"
+
+  echo "== chaos soak (seed $CHAOS_SEED, $CHAOS_REQUESTS requests) =="
+  # Daemon with every injection site armed; the retrying batch client
+  # drives the workload through injected worker crashes, compile
+  # failures, queue delays and killed response writes.  The contract:
+  # the daemon never dies, every request ends in exactly one typed
+  # outcome (no "lost"), and SIGTERM still drains to exit 0.
+  chaos_spec="seed=${CHAOS_SEED};worker=crash@0.03;cache.compile=error@0.05"
+  chaos_spec="${chaos_spec};queue=delay:1@0.2;writer=error@0.01"
+  : > "$tmpdir/chaos-requests.jsonl"
+  i=0
+  while [ "$i" -lt "$CHAOS_REQUESTS" ]; do
+    i=$((i + 1))
+    case $((i % 3)) in
+      0) printf '{"op":"generate","circuit":"s298","seed":%d}\n' "$i" ;;
+      1) printf '{"op":"generate","circuit":"s27","seed":%d}\n' "$i" ;;
+      2) printf '{"op":"table","circuit":"s27"}\n' ;;
+    esac >> "$tmpdir/chaos-requests.jsonl"
+  done
+  "$scanatpg_bin" serve --socket "$tmpdir/chaos.sock" --quiet \
+    --server-jobs 2 --chaos "$chaos_spec" \
+    --access-log "$tmpdir/chaos-access.jsonl" \
+    --metrics "$tmpdir/chaos-metrics.json" &
+  serve_pid=$!
+  i=0
+  while [ ! -S "$tmpdir/chaos.sock" ] && [ "$i" -lt 50 ]; do
+    i=$((i + 1)); sleep 0.1
+  done
+  [ -S "$tmpdir/chaos.sock" ] || fail "chaos daemon socket never appeared"
+  rc=0
+  "$scanatpg_bin" batch --socket "$tmpdir/chaos.sock" \
+    --retries 6 --backoff-ms 50 \
+    "$tmpdir/chaos-requests.jsonl" -o "$tmpdir/chaos-responses.jsonl" \
+    2> /dev/null || rc=$?
+  # injected faults surface as typed failures, so batch may exit 1
+  [ "$rc" -eq 0 ] || [ "$rc" -eq 1 ] || [ "$rc" -eq 3 ] \
+    || fail "chaos batch exited $rc (expected 0, 1 or 3)"
+  kill -0 "$serve_pid" 2> /dev/null \
+    || fail "daemon died during the chaos soak"
+  jq -es --argjson n "$CHAOS_REQUESTS" \
+    'length == $n and all(.[];
+       .status == "ok" or .status == "degraded" or .status == "error"
+       or .status == "overloaded" or .status == "internal_error")' \
+    "$tmpdir/chaos-responses.jsonl" > /dev/null \
+    || fail "not every request ended in exactly one typed outcome"
+  kill -TERM "$serve_pid"
+  wait "$serve_pid" || fail "chaos daemon exited non-zero after SIGTERM"
+  jq -e '.counters["server.internal_error"] >= 1' \
+    "$tmpdir/chaos-metrics.json" > /dev/null \
+    || fail "soak injected no faults (server.internal_error == 0)"
+  jq -es --argjson n "$CHAOS_REQUESTS" \
+    'length >= $n and all(.[]; has("id") and has("op") and has("status"))' \
+    "$tmpdir/chaos-access.jsonl" > /dev/null \
+    || fail "chaos access log not well-formed"
+
+  echo "== chaos retry byte-identity =="
+  # A single injected connection kill at the response writer: the
+  # retrying client must reconnect, replay only the unanswered requests,
+  # and produce bytes identical to an uninterrupted run.
+  cat > "$tmpdir/retry-requests.jsonl" <<'EOF'
+{"op":"generate","circuit":"s27","seed":7}
+{"op":"generate","circuit":"s298","seed":5}
+{"op":"table","circuit":"s27"}
+{"op":"generate","circuit":"s27","seed":9}
+EOF
+  run_retry_daemon() {
+    sock=$1; out=$2; chaos_opt=$3; retry_opts=$4
+    if [ -n "$chaos_opt" ]; then
+      "$scanatpg_bin" serve --socket "$sock" --quiet --chaos "$chaos_opt" &
+    else
+      "$scanatpg_bin" serve --socket "$sock" --quiet &
+    fi
+    pid=$!
+    i=0
+    while [ ! -S "$sock" ] && [ "$i" -lt 50 ]; do
+      i=$((i + 1)); sleep 0.1
+    done
+    [ -S "$sock" ] || fail "retry daemon socket never appeared"
+    # shellcheck disable=SC2086
+    "$scanatpg_bin" batch --socket "$sock" $retry_opts \
+      "$tmpdir/retry-requests.jsonl" -o "$out" 2> /dev/null \
+      || fail "retry batch against $sock"
+    kill -TERM "$pid"
+    wait "$pid" || fail "retry daemon exited non-zero"
+  }
+  run_retry_daemon "$tmpdir/clean.sock" "$tmpdir/clean-responses.jsonl" "" ""
+  run_retry_daemon "$tmpdir/faulty.sock" "$tmpdir/retried-responses.jsonl" \
+    "seed=${CHAOS_SEED};writer=error#1" "--retries 4 --backoff-ms 50"
+  diff "$tmpdir/clean-responses.jsonl" "$tmpdir/retried-responses.jsonl" \
+    || fail "retried batch differs from the uninterrupted run"
+
+  echo "check: OK (chaos)"
+  exit 0
+fi
 
 echo "== dune runtest =="
 dune runtest || fail "dune runtest"

@@ -714,8 +714,47 @@ let serve_cmd =
       value & flag
       & info [ "quiet"; "q" ] ~doc:"Suppress lifecycle messages on stderr.")
   in
+  let idle_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close a connection with no traffic and nothing in flight \
+                after $(docv) seconds (counter \
+                $(b,server.conn_idle_closed)). 0 (the default) keeps idle \
+                connections forever.")
+  in
+  let read_deadline_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "read-deadline" ] ~docv:"SECONDS"
+          ~doc:"A started request frame must complete within $(docv) \
+                seconds or the connection is cut (slowloris defence; \
+                counters $(b,server.bad_request), \
+                $(b,server.conn_aborted)). 0 disables.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Per-connection in-flight cap: a pipelining client with \
+                $(docv) unanswered compute requests gets typed \
+                $(b,overloaded) rejections, so one connection cannot claim \
+                the whole queue.")
+  in
+  let chaos_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:"Arm deterministic fault-injection sites, e.g. \
+                $(b,seed=42;worker=crash@0.03;cache.compile=error#1). \
+                Sites: accept, queue, worker, cache.compile, writer; \
+                actions error, crash, delay:<ms>, with optional @prob and \
+                #max-fires. Reconfigure at runtime with the $(b,chaos) op; \
+                $(b,off) clears. See DESIGN.md \xc2\xa713.")
+  in
   let run socket tcp jobs queue cache scale access grace metrics_path
-      trace_path trace_format slow_ms quiet =
+      trace_path trace_format slow_ms idle read_deadline max_inflight chaos
+      quiet =
     Server.Daemon.run
       {
         Server.Daemon.addr = parse_addr socket tcp;
@@ -732,6 +771,11 @@ let serve_cmd =
            | `Chrome -> Server.Daemon.Chrome);
         slow_ms;
         drain_grace_s = grace;
+        idle_timeout_s = (if idle > 0.0 then Some idle else None);
+        read_deadline_s =
+          (if read_deadline > 0.0 then Some read_deadline else None);
+        max_inflight;
+        chaos;
         install_signals = true;
         verbose = not quiet;
       }
@@ -750,7 +794,8 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ tcp_arg $ server_jobs_arg $ queue_arg
       $ cache_arg $ scale_arg $ access_arg $ grace_arg $ metrics_arg
-      $ trace_arg $ trace_format_arg $ slow_arg $ quiet_arg)
+      $ trace_arg $ trace_format_arg $ slow_arg $ idle_arg
+      $ read_deadline_arg $ max_inflight_arg $ chaos_arg $ quiet_arg)
 
 (* --------------------------------------------------------------- batch *)
 
@@ -763,10 +808,27 @@ let batch_cmd =
           ~doc:"JSONL file: one request object per line (ids assigned \
                 sequentially when absent).")
   in
-  let run socket tcp input out =
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Survive dropped connections: reconnect and replay only the \
+                still-unanswered requests, up to $(docv) extra attempts. \
+                Safe because compute payloads are pure functions of their \
+                requests — a retried batch is byte-identical to an \
+                uninterrupted one.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base delay before the first retry, doubling per attempt \
+                with deterministic jitter.")
+  in
+  let run socket tcp input out retries backoff_ms =
     let outcomes =
       Server.Client.run_batch ~addr:(parse_addr socket tcp) ~input
-        ?output:out ()
+        ?output:out ~retries ~backoff_ms ()
     in
     let count s =
       List.length
@@ -787,7 +849,9 @@ let batch_cmd =
     (Cmd.info "batch" ~exits
        ~doc:"Pipeline a JSONL file of requests to a running daemon, collect \
              the responses by id, and write them in request order.")
-    Term.(const run $ socket_arg $ tcp_arg $ input_arg $ out_arg)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ input_arg $ out_arg $ retries_arg
+      $ backoff_arg)
 
 (* --------------------------------------------------------------- stats *)
 

@@ -1,0 +1,72 @@
+(** Named, deterministically-seeded fault-injection sites (DESIGN.md §13).
+
+    A failpoint is a place in the code that can be told, from the
+    outside, to misbehave on demand: raise a typed error, simulate a
+    crash, or stall.  Production code threads a registry [t] to its
+    interesting failure points and calls [hit t "site.name"]; with no
+    chaos configured that call is free in the {!Trace.null} sense — the
+    {!null} registry costs one immutable branch, a live-but-empty
+    registry one atomic load — so the hardened paths carry their
+    injection sites permanently, measurement-noise free.
+
+    Determinism: every site draws from an FNV-1a 64 stream over
+    (seed, site name, draw index).  The same seed and spec fire at
+    exactly the same draw indices, so a chaos soak is replayable by
+    pinning the seed (CI pins [CHAOS_SEED]).
+
+    Spec grammar (the [--chaos] flag and the [chaos] daemon op):
+    semicolon-separated entries, each
+    [<site>=<action>] with action one of
+    [error], [crash], [delay:<ms>], optionally suffixed [@<prob>]
+    (fire probability in [0,1], default 1) and/or [#<count>] (maximum
+    number of fires, default unlimited) — in that order; plus
+    [seed=<int>] to set the draw seed.  The whole spec ["off"] (or an
+    empty string) clears every site.  Example:
+    [seed=42;worker=crash@0.03;cache.compile=error#1;queue=delay:2@0.5]. *)
+
+type action =
+  | Error  (** [hit] raises {!Injected} *)
+  | Crash  (** [hit] raises {!Crashed} — models a worker/domain death *)
+  | Delay of int  (** [hit] sleeps this many milliseconds *)
+
+type t
+
+(** Raised by an [error] site; the payload is the site name. *)
+exception Injected of string
+
+(** Raised by a [crash] site; unlike {!Injected} this is meant to escape
+    the request handler and exercise crash containment. *)
+exception Crashed of string
+
+(** Permanently disabled registry; [hit] is a single branch. *)
+val null : t
+
+(** A live registry with no sites configured (and so no effect) until
+    {!configure} installs some. *)
+val create : ?seed:int64 -> unit -> t
+
+(** [false] exactly for {!null}. *)
+val enabled : t -> bool
+
+(** [true] when at least one site is configured. *)
+val active : t -> bool
+
+(** [configure t spec] parses [spec] (grammar above) and atomically
+    replaces the installed sites; ["off"] clears them.  A [seed=] entry
+    re-seeds the draw streams; otherwise the existing seed is kept.
+    @raise Invalid_argument on a malformed spec, or when [t] is {!null}. *)
+val configure : t -> string -> unit
+
+(** Render the installed sites back as a canonical spec string
+    (["off"] when none) — the [chaos] op's response. *)
+val describe : t -> string
+
+(** Per-site count of fires so far (capped at the site's [#count]). *)
+val fires : t -> (string * int) list
+
+(** [hit t name] performs the configured action of site [name], if any:
+    no-op when the registry is disabled, the site is not configured, the
+    deterministic draw misses, or the site's fire cap is exhausted.
+    @raise Injected for an [error] site
+    @raise Crashed for a [crash] site *)
+val hit : t -> string -> unit

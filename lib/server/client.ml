@@ -87,64 +87,102 @@ let id_of_payload payload =
   | exception Obs.Json.Parse_error _ -> None
   | doc -> Option.bind (Obs.Json.member "id" doc) Obs.Json.get_int
 
-let run_batch ~addr ~input ?output () =
-  let requests = List.mapi prepare (read_lines input) in
-  let expected = List.length requests in
-  let conn = connect addr in
-  Fun.protect
-    ~finally:(fun () -> close conn)
-    (fun () ->
-      (* A reader domain collects responses while we are still writing
-         requests, so a full socket buffer in either direction can never
-         deadlock the pipeline. *)
-      let got = Hashtbl.create 64 in
-      let gmu = Mutex.create () in
-      let reader =
-        Domain.spawn (fun () ->
-            let rec go n =
-              if n >= expected then ()
-              else
-                match Protocol.read_frame conn.fd with
-                | None -> ()
-                | Some payload ->
-                  (match id_of_payload payload with
-                  | Some id ->
-                    Mutex.lock gmu;
-                    Hashtbl.replace got id payload;
-                    Mutex.unlock gmu
-                  | None -> ());
-                  go (n + 1)
-            in
-            go 0)
-      in
-      List.iter
-        (fun (_, payload) -> Protocol.write_frame conn.fd payload)
-        requests;
-      (try Unix.shutdown conn.fd Unix.SHUTDOWN_SEND
-       with Unix.Unix_error _ -> ());
-      Domain.join reader;
-      let outcomes =
-        List.map
-          (fun (id, _) ->
-            match Hashtbl.find_opt got id with
+(* Deterministic backoff jitter: a fixed integer hash of the attempt
+   number, so a retry schedule is reproducible run to run (no
+   wall-clock or PRNG input). *)
+let jitter_ms attempt = attempt * 0x9E3779B1 land 0x3F
+
+(* One connection's worth of work: pipeline [todo], collect whatever
+   responses come back into [got].  A reader domain collects while we
+   are still writing, so a full socket buffer in either direction can
+   never deadlock the pipeline.  Both sides absorb connection failure —
+   a died connection just leaves requests unanswered for the caller's
+   retry loop to replay. *)
+let run_attempt conn todo got gmu =
+  let expected = List.length todo in
+  let reader =
+    Domain.spawn (fun () ->
+        let rec go n =
+          if n >= expected then ()
+          else
+            match Protocol.read_frame conn.fd with
+            | exception _ -> ()
+            | None -> ()
             | Some payload ->
-              { id; status = status_of_payload payload; payload = Some payload }
-            | None -> { id; status = "lost"; payload = None })
-          requests
-      in
-      let rendered =
-        String.concat ""
-          (List.map
-             (fun o ->
-               match o.payload with
-               | Some p -> p ^ "\n"
-               | None ->
-                 Protocol.error_response ~id:o.id "lost"
-                   "no response before the daemon hung up"
-                 ^ "\n")
-             outcomes)
-      in
-      (match output with
-      | Some path -> Obs.Fileio.write_string path rendered
-      | None -> print_string rendered);
-      outcomes)
+              (match id_of_payload payload with
+              | Some id ->
+                Mutex.lock gmu;
+                Hashtbl.replace got id payload;
+                Mutex.unlock gmu
+              | None -> ());
+              go (n + 1)
+        in
+        go 0)
+  in
+  (try
+     List.iter (fun (_, payload) -> Protocol.write_frame conn.fd payload) todo;
+     Unix.shutdown conn.fd Unix.SHUTDOWN_SEND
+   with _ -> ());
+  Domain.join reader
+
+let run_batch ~addr ~input ?output ?(retries = 0) ?(backoff_ms = 100) () =
+  let requests = List.mapi prepare (read_lines input) in
+  let got = Hashtbl.create 64 in
+  let gmu = Mutex.create () in
+  let missing () =
+    List.filter (fun (id, _) -> not (Hashtbl.mem got id)) requests
+  in
+  (* Reconnect-and-replay of unanswered requests only: a request that
+     already has a response — any typed status, errors included — is
+     final and never resent.  Replay is safe because compute payloads
+     are pure functions of their requests (DESIGN.md §10), so a
+     duplicate execution returns byte-identical bytes. *)
+  let attempt = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    let todo = missing () in
+    if todo = [] || !attempt > retries then finished := true
+    else begin
+      if !attempt > 0 then begin
+        let scale = 1 lsl min (!attempt - 1) 16 in
+        Unix.sleepf
+          (float_of_int ((backoff_ms * scale) + jitter_ms !attempt) /. 1000.0)
+      end;
+      (match connect addr with
+      | exception e when !attempt = 0 ->
+        (* Nothing was ever sent: connection refusal is the caller's
+           problem, not a retryable transport fault. *)
+        raise e
+      | exception _ -> ()
+      | conn ->
+        Fun.protect
+          ~finally:(fun () -> close conn)
+          (fun () -> run_attempt conn todo got gmu));
+      incr attempt
+    end
+  done;
+  let outcomes =
+    List.map
+      (fun (id, _) ->
+        match Hashtbl.find_opt got id with
+        | Some payload ->
+          { id; status = status_of_payload payload; payload = Some payload }
+        | None -> { id; status = "lost"; payload = None })
+      requests
+  in
+  let rendered =
+    String.concat ""
+      (List.map
+         (fun o ->
+           match o.payload with
+           | Some p -> p ^ "\n"
+           | None ->
+             Protocol.error_response ~id:o.id "lost"
+               "no response before the daemon hung up"
+             ^ "\n")
+         outcomes)
+  in
+  (match output with
+  | Some path -> Obs.Fileio.write_string path rendered
+  | None -> print_string rendered);
+  outcomes

@@ -18,8 +18,9 @@ val call : conn -> string -> string
 (** Outcome of one batch request, in input-file order. *)
 type outcome = {
   id : int;
-  status : string;  (** ok | degraded | error | overloaded | lost *)
-  payload : string option;  (** [None] when the daemon hung up first *)
+  status : string;
+      (** ok | degraded | error | overloaded | internal_error | lost *)
+  payload : string option;  (** [None] when no response was ever seen *)
 }
 
 (** [run_batch ~addr ~input ()] pipelines every JSONL line of [input] as
@@ -27,9 +28,26 @@ type outcome = {
     collects responses by id, and writes the response payloads in request
     order — one per line — to [output] (through {!Obs.Fileio}) or stdout.
 
+    [retries] (default 0) makes the batch idempotently survive dropped
+    connections: after a transport failure the client reconnects and
+    replays only the still-unanswered requests, up to [retries] extra
+    attempts, backing off exponentially from [backoff_ms] (default 100)
+    with deterministic jitter.  A request that already has a typed
+    response is final and never resent; replay is safe because compute
+    payloads are pure functions of their requests (DESIGN.md §10), so a
+    retried batch is byte-identical to an uninterrupted one.  A refused
+    initial connection still raises — nothing was ever sent.
+
     Returns the outcomes in request order.  A response never delivered
-    (daemon drained away mid-batch) reports status ["lost"].
+    (daemon drained away mid-batch, retries exhausted) reports status
+    ["lost"].
     @raise Failure when [input] is unreadable or a line is not a JSON
     object. *)
 val run_batch :
-  addr:Daemon.addr -> input:string -> ?output:string -> unit -> outcome list
+  addr:Daemon.addr ->
+  input:string ->
+  ?output:string ->
+  ?retries:int ->
+  ?backoff_ms:int ->
+  unit ->
+  outcome list

@@ -18,6 +18,10 @@ type config = {
   trace_format : trace_format;
   slow_ms : int option;
   drain_grace_s : float;
+  idle_timeout_s : float option;
+  read_deadline_s : float option;
+  max_inflight : int;
+  chaos : string option;
   install_signals : bool;
   verbose : bool;
 }
@@ -35,13 +39,18 @@ let default_config addr =
     trace_format = Jsonl;
     slow_ms = None;
     drain_grace_s = 5.0;
+    idle_timeout_s = None;
+    read_deadline_s = Some 30.0;
+    max_inflight = 64;
+    chaos = None;
     install_signals = true;
     verbose = false;
   }
 
-(* Per-connection state.  [dec] and [eof] belong to the accept loop alone;
-   [inflight] and [closed] are shared with workers and guarded by [wmu],
-   which also serialises response writes so frames never interleave. *)
+(* Per-connection state.  [dec], [eof], [last_ns] and [partial_ns] belong
+   to the accept loop alone; [inflight] and [closed] are shared with
+   workers and guarded by [wmu], which also serialises response writes so
+   frames never interleave. *)
 type conn = {
   fd : Unix.file_descr;
   cid : int;  (* connection serial, for trace ids *)
@@ -52,6 +61,8 @@ type conn = {
   mutable inflight : int;
   mutable eof : bool;
   mutable closed : bool;
+  mutable last_ns : int;  (* last byte received (idle-timeout clock) *)
+  mutable partial_ns : int;  (* first byte of an incomplete frame, or 0 *)
 }
 
 type job = {
@@ -79,6 +90,7 @@ type state = {
   log : out_channel option;  (* line-buffered; writes guarded by logmu *)
   trmu : Mutex.t;
   trace : Obs.Trace.t;  (* global collector; merges guarded by trmu *)
+  fp : Obs.Failpoint.t;  (* chaos sites; reconfigurable via the chaos op *)
 }
 
 let say st fmt =
@@ -126,16 +138,22 @@ let close_conn_locked conn =
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
   end
 
-(* Write one response frame; a dead peer (EPIPE, reset, send timeout)
-   poisons the connection but never the daemon. *)
-let send _st conn payload =
+(* Write one response frame; a dead peer (EPIPE, reset, send timeout) or
+   an injected [writer] fault poisons the connection but never the
+   daemon.  Every abort is counted under [server.conn_aborted] so the
+   loss is visible without relying on writer-side EPIPE handling. *)
+let send st conn payload =
   Mutex.lock conn.wmu;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock conn.wmu)
     (fun () ->
       if not conn.closed then
-        try Protocol.write_frame conn.fd payload
-        with _ -> close_conn_locked conn)
+        try
+          Obs.Failpoint.hit st.fp "writer";
+          Protocol.write_frame conn.fd payload
+        with _ ->
+          Service.bump st.svc "server.conn_aborted" 1;
+          close_conn_locked conn)
 
 (* One compute response fully delivered (or its connection is gone). *)
 let finish_one st serial conn =
@@ -169,7 +187,9 @@ let run_job st serial job =
         [ ("trace_id", job.trace_id);
           ("op", Protocol.op_name job.req.Protocol.op) ]
       "request"
-      (fun () -> Service.execute st.svc ~budget:job.budget ~trace:rt job.req)
+      (fun () ->
+        Obs.Failpoint.hit st.fp "worker";
+        Service.execute st.svc ~budget:job.budget ~trace:rt job.req)
   in
   let service_ns = Obs.Clock.now_ns () - deq_ns in
   send st job.conn payload;
@@ -198,6 +218,36 @@ let run_job st serial job =
   end;
   finish_one st serial job.conn
 
+(* Crash containment: an exception escaping a job — an injected crash, a
+   bug in {!Service.execute}'s error mapping, a failed trace merge —
+   becomes a typed [internal_error] response and a restarted worker
+   loop, never a dead domain that would starve the queue and hang the
+   drain.  The request's accounting is settled exactly once either way. *)
+let contain st serial job e =
+  let msg =
+    match e with
+    | Obs.Failpoint.Crashed site ->
+      Printf.sprintf "worker crashed (injected at %s)" site
+    | Obs.Failpoint.Injected site ->
+      Printf.sprintf "injected fault at %s" site
+    | e -> Printf.sprintf "worker crashed: %s" (Printexc.to_string e)
+  in
+  (match e with
+  | Obs.Failpoint.Injected _ -> ()
+  | _ -> Service.bump st.svc "server.worker_restarts" 1);
+  Service.bump st.svc "server.internal_error" 1;
+  send st job.conn
+    (Protocol.error_response ~id:job.req.Protocol.id "internal_error" msg);
+  log_line st ~id:job.req.Protocol.id ~peer:job.conn.peer
+    ~trace_id:job.trace_id ~bytes_in:job.bytes_in
+    {
+      Service.status = "internal_error";
+      op = Protocol.op_name job.req.Protocol.op;
+      circuit = "-";
+      cache = "-";
+    };
+  finish_one st serial job.conn
+
 let worker st =
   let rec loop () =
     Mutex.lock st.qmu;
@@ -208,7 +258,7 @@ let worker st =
     else begin
       let serial, job = Queue.pop st.queue in
       Mutex.unlock st.qmu;
-      run_job st serial job;
+      (try run_job st serial job with e -> contain st serial job e);
       loop ()
     end
   in
@@ -218,7 +268,8 @@ let compute_of_op = function
   | Protocol.Generate { c; _ } | Protocol.Compact { c; _ } | Protocol.Table { c }
     ->
     Some c
-  | Protocol.Ping | Protocol.Stats _ | Protocol.Shutdown -> None
+  | Protocol.Ping | Protocol.Stats _ | Protocol.Shutdown | Protocol.Chaos _ ->
+    None
 
 let circuit_label (c : Protocol.compute) =
   match c.Protocol.src with
@@ -285,6 +336,39 @@ let handle_payload st conn payload =
         request_drain st
       end
     | Some c ->
+      (* The queue site models a fault in the hand-off itself (admission
+         raced a reconfiguration, a delayed signal, …): the request gets
+         a typed [internal_error] and never reaches the queue, so its
+         accounting needs no unwinding. *)
+      let queue_fault =
+        match Obs.Failpoint.hit st.fp "queue" with
+        | () -> false
+        | exception (Obs.Failpoint.Injected _ | Obs.Failpoint.Crashed _) ->
+          true
+      in
+      if queue_fault then begin
+        Service.bump st.svc "server.internal_error" 1;
+        let resp =
+          Protocol.error_response ~id:req.Protocol.id "internal_error"
+            "injected fault at queue"
+        in
+        send st conn resp;
+        log_line st ~id:req.Protocol.id ~peer:conn.peer ~trace_id ~bytes_in
+          ~bytes_out:(String.length resp + 4)
+          {
+            Service.status = "internal_error";
+            op = Protocol.op_name req.Protocol.op;
+            circuit = circuit_label c;
+            cache = "-";
+          }
+      end
+      else begin
+      let conn_inflight =
+        Mutex.lock conn.wmu;
+        let k = conn.inflight in
+        Mutex.unlock conn.wmu;
+        k
+      in
       Mutex.lock st.qmu;
       let reject reason =
         Mutex.unlock st.qmu;
@@ -303,6 +387,10 @@ let handle_payload st conn payload =
           }
       in
       if st.draining then reject "daemon is draining"
+      else if conn_inflight >= st.cfg.max_inflight then
+        (* Per-connection fairness: one pipelining client must not be
+           able to claim the whole queue. *)
+        reject "connection in-flight cap reached"
       else if Queue.length st.queue >= st.cfg.queue_depth then
         reject "request queue is full"
       else begin
@@ -323,14 +411,20 @@ let handle_payload st conn payload =
         conn.inflight <- conn.inflight + 1;
         Mutex.unlock conn.wmu;
         Condition.signal st.qcv
+      end
       end)
 
 let mark_eof st conn =
   conn.eof <- true;
+  if Protocol.pending conn.dec > 0 then begin
+    (* The peer hung up mid-frame: the buffered prefix can never become
+       a request, so the loss is accounted rather than silently dropped. *)
+    Service.bump st.svc "server.bad_request" 1;
+    Service.bump st.svc "server.conn_aborted" 1
+  end;
   Mutex.lock conn.wmu;
   if conn.inflight = 0 then close_conn_locked conn;
-  Mutex.unlock conn.wmu;
-  ignore st
+  Mutex.unlock conn.wmu
 
 let handle_readable st conn buf =
   let n =
@@ -341,13 +435,16 @@ let handle_readable st conn buf =
   in
   if n = 0 then mark_eof st conn
   else if n > 0 then begin
+    conn.last_ns <- Obs.Clock.now_ns ();
     Protocol.feed conn.dec buf 0 n;
     let rec frames () =
       match Protocol.next conn.dec with
       | exception Protocol.Frame_too_large { announced; max } ->
         (* The stream cannot be resynchronised past a bogus length
-           prefix; answer with a typed error, then hang up. *)
+           prefix; answer with a typed error (best effort — the sender
+           may already be gone), then hang up. *)
         Service.bump st.svc "server.bad_request" 1;
+        Service.bump st.svc "server.conn_aborted" 1;
         send st conn
           (Protocol.error_response ~id:0 "error"
              (Printf.sprintf "frame of %d bytes exceeds maximum %d" announced
@@ -360,18 +457,29 @@ let handle_readable st conn buf =
         frames ()
       | None -> ()
     in
-    frames ()
+    frames ();
+    (* Track how long an incomplete frame has been pending, for the
+       read-deadline sweep (slowloris defence): [partial_ns] stamps the
+       first byte of the current partial frame and clears once it
+       completes. *)
+    if Protocol.pending conn.dec > 0 then begin
+      if conn.partial_ns = 0 then conn.partial_ns <- conn.last_ns
+    end
+    else conn.partial_ns <- 0
   end
 
+(* Both listener and accepted fds are close-on-exec: a worker that
+   shells out (or a future exec-based helper) must not hold the service
+   port open past the daemon's own lifetime. *)
 let listen_socket = function
   | Unix_sock path ->
     (try Unix.unlink path with Unix.Unix_error _ -> ());
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.bind fd (Unix.ADDR_UNIX path);
     Unix.listen fd 64;
     fd
   | Tcp (host, port) ->
-    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt fd Unix.SO_REUSEADDR true;
     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
     Unix.listen fd 64;
@@ -441,12 +549,19 @@ let drain st conns listen_fd workers =
   0
 
 let run cfg =
+  (* The daemon always carries a live registry — an empty one costs one
+     atomic load per site — so the [chaos] op can arm sites at runtime
+     even when the daemon started without [--chaos]. *)
+  let fp = Obs.Failpoint.create () in
+  (match cfg.chaos with
+  | None -> ()
+  | Some spec -> Obs.Failpoint.configure fp spec);
   let st =
     {
       cfg;
       svc =
         Service.create ~cache_capacity:cfg.cache_capacity
-          ~default_scale:cfg.default_scale ();
+          ~default_scale:cfg.default_scale ~failpoint:fp ();
       qmu = Mutex.create ();
       qcv = Condition.create ();
       queue = Queue.create ();
@@ -463,6 +578,7 @@ let run cfg =
         (match cfg.trace_path with
          | Some _ -> Obs.Trace.create ()
          | None -> Obs.Trace.null);
+      fp;
     }
   in
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
@@ -491,32 +607,83 @@ let run cfg =
       | ready, _, _ ->
         let conns =
           if List.mem listen_fd ready then (
-            match Unix.accept listen_fd with
+            match Unix.accept ~cloexec:true listen_fd with
             | exception Unix.Unix_error _ -> conns
-            | fd, sa ->
-              (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 30.0
-               with Unix.Unix_error _ -> ());
-              st.next_cid <- st.next_cid + 1;
-              let conn =
-                {
-                  fd;
-                  cid = st.next_cid;
-                  peer = peer_of_sockaddr sa;
-                  dec = Protocol.decoder ();
-                  wmu = Mutex.create ();
-                  reqs = 0;
-                  inflight = 0;
-                  eof = false;
-                  closed = false;
-                }
-              in
-              say st "connection from %s" conn.peer;
-              conn :: conns)
+            | fd, sa -> (
+              match Obs.Failpoint.hit st.fp "accept" with
+              | exception (Obs.Failpoint.Injected _ | Obs.Failpoint.Crashed _)
+                ->
+                (* An injected accept failure drops the connection on
+                   the floor — to the peer it looks like a reset, which
+                   is exactly what the retrying client must survive. *)
+                Service.bump st.svc "server.conn_aborted" 1;
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                conns
+              | () ->
+                (match sa with
+                | Unix.ADDR_INET _ -> (
+                  try Unix.setsockopt fd Unix.SO_KEEPALIVE true
+                  with Unix.Unix_error _ -> ())
+                | Unix.ADDR_UNIX _ -> ());
+                (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 30.0
+                 with Unix.Unix_error _ -> ());
+                st.next_cid <- st.next_cid + 1;
+                let conn =
+                  {
+                    fd;
+                    cid = st.next_cid;
+                    peer = peer_of_sockaddr sa;
+                    dec = Protocol.decoder ();
+                    wmu = Mutex.create ();
+                    reqs = 0;
+                    inflight = 0;
+                    eof = false;
+                    closed = false;
+                    last_ns = Obs.Clock.now_ns ();
+                    partial_ns = 0;
+                  }
+                in
+                say st "connection from %s" conn.peer;
+                conn :: conns))
           else conns
         in
         List.iter
           (fun c ->
             if (not c.eof) && List.mem c.fd ready then handle_readable st c buf)
+          conns;
+        (* Deadline sweep, once per select tick (so granularity is the
+           select timeout, 100ms): a connection stuck mid-frame past the
+           read deadline is a slowloris and is cut; a connection with no
+           traffic, no partial frame and nothing in flight past the idle
+           timeout is reclaimed.  Reads of [closed]/[inflight] here are
+           benignly racy — a miss is caught on the next tick. *)
+        let now = Obs.Clock.now_ns () in
+        List.iter
+          (fun c ->
+            if (not c.eof) && not c.closed then begin
+              (match st.cfg.read_deadline_s with
+              | Some d
+                when c.partial_ns > 0
+                     && now - c.partial_ns > int_of_float (d *. 1e9) ->
+                Service.bump st.svc "server.bad_request" 1;
+                Service.bump st.svc "server.conn_aborted" 1;
+                say st "read deadline (%.1fs) exceeded by %s, closing" d c.peer;
+                Mutex.lock c.wmu;
+                close_conn_locked c;
+                Mutex.unlock c.wmu
+              | _ -> ());
+              match st.cfg.idle_timeout_s with
+              | Some d
+                when (not c.closed)
+                     && c.partial_ns = 0 && c.inflight = 0
+                     && now - c.last_ns > int_of_float (d *. 1e9) ->
+                Service.bump st.svc "server.conn_idle_closed" 1;
+                say st "idle timeout (%.1fs) for %s, closing" d c.peer;
+                Mutex.lock c.wmu;
+                close_conn_locked c;
+                Mutex.unlock c.wmu
+              | _ -> ()
+            end)
           conns;
         loop conns
     end

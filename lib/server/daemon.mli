@@ -5,8 +5,20 @@
     requests from a bounded queue.  Admission control is strict: when the
     queue is full a request is answered immediately with a typed
     [overloaded] payload instead of queueing unboundedly.  Admin requests
-    ([ping], [stats], [shutdown]) are answered inline by the accept loop
-    — they stay responsive while every worker is busy.
+    ([ping], [stats], [shutdown], [chaos]) are answered inline by the
+    accept loop — they stay responsive while every worker is busy.
+
+    Hardening (DESIGN.md §13): worker domains contain crashes — an
+    exception escaping a job becomes a typed [internal_error] response
+    plus a [server.worker_restarts] bump and the worker loops on, never
+    a dead domain starving the queue.  A dead or injected-faulty
+    response write poisons only its connection ([server.conn_aborted]).
+    Connections are swept for read-deadline (mid-frame stall, slowloris)
+    and idle-timeout breaches each select tick, and a per-connection
+    in-flight cap keeps one pipelining client from monopolising the
+    queue.  Fault-injection sites ([accept], [queue], [worker],
+    [cache.compile], [writer]) are compiled in permanently and armed via
+    [--chaos] or the [chaos] op — unarmed they cost one atomic load.
 
     Graceful drain (SIGTERM, SIGINT or a [shutdown] request): the
     listening socket closes, no further requests are admitted, queued and
@@ -52,6 +64,25 @@ type config = {
   slow_ms : int option;
       (** requests over this end-to-end threshold log their span tree *)
   drain_grace_s : float;  (** seconds before a drain trips in-flight budgets *)
+  idle_timeout_s : float option;
+      (** close a connection with no traffic, no partial frame and no
+          in-flight requests after this long (counted under
+          [server.conn_idle_closed]); [None] (default) keeps idle
+          connections forever *)
+  read_deadline_s : float option;
+      (** slowloris defence: a started frame must complete within this
+          deadline or the connection is cut (counted under
+          [server.bad_request] and [server.conn_aborted]); default 30s,
+          [None] disables *)
+  max_inflight : int;
+      (** per-connection in-flight cap — a pipelining client exceeding
+          it gets a typed [overloaded] rejection, so one connection
+          cannot claim the whole queue (default 64) *)
+  chaos : string option;
+      (** initial {!Obs.Failpoint} spec ([--chaos]); sites [accept],
+          [queue], [worker], [cache.compile], [writer].  The registry is
+          always live and reconfigurable at runtime via the [chaos] op;
+          @raise Invalid_argument from [run] on a malformed spec *)
   install_signals : bool;  (** SIGTERM/SIGINT → drain (off in tests) *)
   verbose : bool;  (** lifecycle messages on stderr *)
 }

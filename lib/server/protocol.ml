@@ -19,6 +19,8 @@ let feed d bytes off len = Buffer.add_subbytes d.buf bytes off len
 
 let available d = Buffer.length d.buf - d.start
 
+let pending = available
+
 (* Drop consumed bytes once they dominate the buffer, so a long-lived
    connection does not grow its buffer forever. *)
 let compact_buf d =
@@ -58,12 +60,17 @@ let encode_frame payload =
   Bytes.blit_string payload 0 b 4 len;
   Bytes.unsafe_to_string b
 
+(* Short writes and EINTR are ordinary events on a socket (a signal
+   lands, the peer drains slowly); both loop until the frame is fully
+   on the wire. *)
 let write_all fd s =
   let b = Bytes.unsafe_of_string s in
   let n = Bytes.length b in
   let written = ref 0 in
   while !written < n do
-    written := !written + Unix.write fd b !written (n - !written)
+    match Unix.write fd b !written (n - !written) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | k -> written := !written + k
   done
 
 let write_frame fd payload = write_all fd (encode_frame payload)
@@ -71,17 +78,24 @@ let write_frame fd payload = write_all fd (encode_frame payload)
 (* Reads exact byte counts (header, then payload) so no bytes past the
    frame are ever consumed — with an internal scratch buffer, a second
    frame arriving in the same segment would be silently dropped between
-   calls. *)
+   calls.  EINTR restarts the read: an interrupted syscall is not a
+   protocol event. *)
 let read_frame ?(max_frame = max_frame_default) fd =
   let rec fill b off len =
     if len = 0 then true
     else
       match Unix.read fd b off len with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill b off len
       | 0 -> false
       | n -> fill b (off + n) (len - n)
   in
   let hdr = Bytes.create 4 in
-  match Unix.read fd hdr 0 4 with
+  let rec read_hdr () =
+    match Unix.read fd hdr 0 4 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_hdr ()
+    | n -> n
+  in
+  match read_hdr () with
   | 0 -> None
   | n ->
     if not (fill hdr n (4 - n)) then failwith "connection closed mid-frame";
@@ -116,6 +130,7 @@ type op =
   | Ping
   | Stats of { prom : bool }
   | Shutdown
+  | Chaos of { spec : string option }
   | Generate of {
       c : compute;
       compact : bool;
@@ -136,6 +151,7 @@ let op_name = function
   | Ping -> "ping"
   | Stats _ -> "stats"
   | Shutdown -> "shutdown"
+  | Chaos _ -> "chaos"
   | Generate _ -> "generate"
   | Compact _ -> "compact"
   | Table _ -> "table"
@@ -229,6 +245,16 @@ let request_of_string payload =
         in
         Stats { prom }
       | Some "shutdown" -> Shutdown
+      | Some "chaos" ->
+        let spec =
+          match Json.member "spec" j with
+          | None | Some Json.Null -> None
+          | Some v -> (
+            match Json.get_str v with
+            | Some s -> Some s
+            | None -> bad "field \"spec\" must be a string")
+        in
+        Chaos { spec }
       | Some "generate" ->
         Generate
           {

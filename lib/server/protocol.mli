@@ -35,6 +35,11 @@ val feed : decoder -> bytes -> int -> int -> unit
     (before any payload is buffered). *)
 val next : decoder -> string option
 
+(** Bytes buffered beyond the last complete frame.  Non-zero after the
+    peer hangs up means it died mid-frame — the daemon counts that under
+    [server.bad_request] / [server.conn_aborted]. *)
+val pending : decoder -> int
+
 (** [encode_frame payload] is the prefix + payload, ready to write. *)
 val encode_frame : string -> string
 
@@ -42,7 +47,8 @@ val encode_frame : string -> string
     the daemon feeds its decoders from the select loop instead).
     [read_frame] reads exact byte counts — it never consumes bytes past
     the frame it returns — and returns [None] on a clean EOF at a frame
-    boundary. *)
+    boundary.  Both sides restart on EINTR and loop over short
+    reads/writes, so signals and slow peers are not protocol events. *)
 val write_frame : Unix.file_descr -> string -> unit
 
 val read_frame : ?max_frame:int -> Unix.file_descr -> string option
@@ -73,6 +79,10 @@ type op =
       (** [prom] (request field ["format": "prometheus"]) asks for the
           Prometheus text exposition instead of the JSON document *)
   | Shutdown
+  | Chaos of { spec : string option }
+      (** reconfigure the daemon's fault-injection sites at runtime
+          ({!Obs.Failpoint} spec grammar; [None] queries, ["off"]
+          clears); answered inline like the other admin ops *)
   | Generate of {
       c : compute;
       compact : bool;
@@ -98,6 +108,6 @@ val request_of_string : string -> request
 (** {1 Responses} *)
 
 (** [error_response ~id kind message] renders the typed error payload
-    [{"id":id,"status":kind,"error":message}]; [kind] is ["error"] or
-    ["overloaded"]. *)
+    [{"id":id,"status":kind,"error":message}]; [kind] is ["error"],
+    ["overloaded"] or ["internal_error"]. *)
 val error_response : id:int -> string -> string -> string

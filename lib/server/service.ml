@@ -7,6 +7,7 @@ type t = {
   default_scale : Circuits.Profiles.scale;
   mu : Mutex.t;  (* guards [metrics] *)
   metrics : Obs.Metrics.t;
+  fp : Obs.Failpoint.t;
 }
 
 type meta = {
@@ -16,12 +17,14 @@ type meta = {
   cache : string;
 }
 
-let create ?(cache_capacity = 8) ?(default_scale = Circuits.Profiles.Quick) () =
+let create ?(cache_capacity = 8) ?(default_scale = Circuits.Profiles.Quick)
+    ?(failpoint = Obs.Failpoint.null) () =
   {
     cache = Cache.create ~capacity:cache_capacity;
     default_scale;
     mu = Mutex.create ();
     metrics = Obs.Metrics.create ();
+    fp = failpoint;
   }
 
 let cache (t : t) = t.cache
@@ -57,6 +60,9 @@ let lookup (t : t) (c : Protocol.compute) =
   let key = Cache.key_of c.Protocol.src ~scale:c.Protocol.scale ~chains:c.Protocol.chains in
   let entry, outcome =
     Cache.find_or_compile t.cache ~key ~compile:(fun () ->
+        (* An injected compile failure propagates out of the cache and
+           leaves it unchanged: the next identical request recompiles. *)
+        Obs.Failpoint.hit t.fp "cache.compile";
         let t0 = Obs.Clock.now_ns () in
         let circuit = compile_src c.Protocol.src c.Protocol.scale in
         let scan = Scanins.Scan.insert ~chains:c.Protocol.chains circuit in
@@ -373,6 +379,23 @@ let execute t ~budget ?(trace = Obs.Trace.null) (req : Protocol.request) =
                "status", Json.Str "ok" ]),
         { status = "ok"; op = "ping"; circuit = "-"; cache = "-" } )
     | Protocol.Stats { prom } -> exec_stats t ~id ~prom
+    | Protocol.Chaos { spec } ->
+      (match spec with
+      | None -> ()
+      | Some s -> (
+        try Obs.Failpoint.configure t.fp s
+        with Invalid_argument msg -> raise (Protocol.Bad_request msg)));
+      ( Json.to_string
+          (Json.Obj
+             [ "id", Json.Int id; "op", Json.Str "chaos";
+               "status", Json.Str "ok";
+               "active", Json.Str (Obs.Failpoint.describe t.fp);
+               ( "fires",
+                 Json.Obj
+                   (List.map
+                      (fun (n, k) -> n, Json.Int k)
+                      (Obs.Failpoint.fires t.fp)) ) ]),
+        { status = "ok"; op = "chaos"; circuit = "-"; cache = "-" } )
     | Protocol.Shutdown ->
       ( Json.to_string
           (Json.Obj
@@ -412,9 +435,20 @@ let execute t ~budget ?(trace = Obs.Trace.null) (req : Protocol.request) =
     ( Protocol.error_response ~id "error" msg,
       { status = "error"; op = Protocol.op_name req.Protocol.op; circuit = "-";
         cache = "-" } )
+  | Obs.Failpoint.Injected site ->
+    bump t "server.internal_error" 1;
+    ( Protocol.error_response ~id "internal_error"
+        ("injected fault at " ^ site),
+      { status = "internal_error"; op = Protocol.op_name req.Protocol.op;
+        circuit = "-"; cache = "-" } )
+  | Obs.Failpoint.Crashed _ as e ->
+    (* An injected crash models the worker dying mid-request: it must
+       escape to the daemon's containment layer, not degrade into a
+       polite typed reply here. *)
+    raise e
   | e ->
     bump t "server.internal_error" 1;
-    ( Protocol.error_response ~id "error"
+    ( Protocol.error_response ~id "internal_error"
         ("internal error: " ^ Printexc.to_string e),
-      { status = "error"; op = Protocol.op_name req.Protocol.op; circuit = "-";
-        cache = "-" } )
+      { status = "internal_error"; op = Protocol.op_name req.Protocol.op;
+        circuit = "-"; cache = "-" } )

@@ -18,22 +18,32 @@
 
 type t
 
+(** [failpoint] (default {!Obs.Failpoint.null}) is the registry consulted
+    by the [cache.compile] injection site and reconfigured by the [chaos]
+    op; the daemon passes its live registry here. *)
 val create :
-  ?cache_capacity:int -> ?default_scale:Circuits.Profiles.scale -> unit -> t
+  ?cache_capacity:int ->
+  ?default_scale:Circuits.Profiles.scale ->
+  ?failpoint:Obs.Failpoint.t ->
+  unit ->
+  t
 
 val cache : t -> Cache.t
 
 (** Per-request accounting of one {!execute} call, for the access log. *)
 type meta = {
-  status : string;  (** ok | degraded | error *)
+  status : string;  (** ok | degraded | error | internal_error *)
   op : string;
   circuit : string;  (** circuit name, or ["-"] for admin ops *)
   cache : string;  (** hit | miss | - *)
 }
 
 (** [execute t ~budget ?trace req] runs the request to completion and
-    returns the response payload.  Never raises: malformed circuits,
-    parse errors and internal failures all map to typed error payloads.
+    returns the response payload.  Never raises — malformed circuits,
+    parse errors and internal failures all map to typed error payloads
+    (unexpected exceptions to status [internal_error]) — with one
+    deliberate exception: an injected {!Obs.Failpoint.Crashed} escapes,
+    modelling a worker death for the daemon's containment layer.
     [trace] (default {!Obs.Trace.null}) receives the request's phase
     spans ([generate], [compact], the [flow.*] stages, …); the daemon
     passes a per-request collector here and folds it into its global one

@@ -85,6 +85,58 @@ let test_read_frame_truncated () =
       | exception Failure _ -> ()
       | _ -> Alcotest.fail "expected mid-frame EOF failure")
 
+let test_decoder_pending () =
+  (* [pending] exposes the bytes stuck beyond the last complete frame —
+     what the daemon checks at EOF to tell a clean hangup from a death
+     mid-frame *)
+  let d = P.decoder () in
+  Alcotest.(check int) "empty" 0 (P.pending d);
+  let frame = P.encode_frame "hello" in
+  let cut = String.length frame - 2 in
+  P.feed d (Bytes.of_string frame) 0 cut;
+  Alcotest.(check (option string)) "incomplete" None (P.next d);
+  Alcotest.(check int) "partial bytes pending" cut (P.pending d);
+  P.feed d (Bytes.of_string frame) cut 2;
+  Alcotest.(check (option string)) "completes" (Some "hello") (P.next d);
+  Alcotest.(check int) "drained" 0 (P.pending d)
+
+let test_frame_io_under_signals () =
+  (* a 1 MiB frame through a socketpair while SIGALRM fires every 2ms:
+     write_frame/read_frame must absorb EINTR and short writes/reads and
+     deliver the frame intact *)
+  let prev = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  let timer v = { Unix.it_interval = v; it_value = v } in
+  ignore (Unix.setitimer Unix.ITIMER_REAL (timer 0.002));
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.setitimer Unix.ITIMER_REAL (timer 0.0));
+      ignore (Sys.signal Sys.sigalrm prev))
+    (fun () ->
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close a with Unix.Unix_error _ -> ());
+          try Unix.close b with Unix.Unix_error _ -> ())
+        (fun () ->
+          let payload =
+            String.init (1 lsl 20) (fun i ->
+                Char.chr (((i * 131) + (i lsr 8)) land 0xFF))
+          in
+          (* the writer outpaces a reader that drains slowly, forcing
+             short writes on the way *)
+          let writer =
+            Domain.spawn (fun () ->
+                P.write_frame a payload;
+                try Unix.shutdown a Unix.SHUTDOWN_SEND
+                with Unix.Unix_error _ -> ())
+          in
+          let got = P.read_frame b in
+          Domain.join writer;
+          match got with
+          | Some p ->
+            Alcotest.(check bool) "1 MiB frame intact" true (p = payload)
+          | None -> Alcotest.fail "no frame received"))
+
 (* ----------------------------------------------------------- requests *)
 
 let test_request_parsing () =
@@ -514,6 +566,9 @@ let () =
           Alcotest.test_case "read_frame exact" `Quick test_read_frame_exact;
           Alcotest.test_case "read_frame truncated" `Quick
             test_read_frame_truncated;
+          Alcotest.test_case "decoder pending" `Quick test_decoder_pending;
+          Alcotest.test_case "frame io under signals" `Quick
+            test_frame_io_under_signals;
         ] );
       ( "requests",
         [ Alcotest.test_case "parsing" `Quick test_request_parsing ] );
