@@ -9,7 +9,9 @@
      dune exec bench/main.exe -- --tables 5,6      # subset of tables
      dune exec bench/main.exe -- --scale full      # faithful circuit sizes
      dune exec bench/main.exe -- --no-ablation --no-kernels
-     dune exec bench/main.exe -- --jobs 4          # parallel circuits *)
+     dune exec bench/main.exe -- --jobs 4          # parallel circuits
+     dune exec bench/main.exe -- --multicore-gate --min-omission-speedup 1.5
+                                                   # CI speedup gate only *)
 
 let default_circuits =
   [ "s27"; "s208"; "s298"; "s344"; "s382"; "s386"; "s400"; "s420"; "s444";
@@ -26,6 +28,9 @@ type options = {
   mutable json : string;
   mutable json3 : string;
   mutable json4 : string;
+  mutable json5 : string;
+  mutable multicore_gate : bool;
+  mutable min_omission_speedup : float;
 }
 
 let parse_args () =
@@ -40,6 +45,9 @@ let parse_args () =
       json = "BENCH_2.json";
       json3 = "BENCH_3.json";
       json4 = "BENCH_4.json";
+      json5 = "BENCH_5.json";
+      multicore_gate = false;
+      min_omission_speedup = 0.0;
     }
   in
   let rec go = function
@@ -73,6 +81,15 @@ let parse_args () =
       go rest
     | "--json4" :: v :: rest ->
       o.json4 <- v;
+      go rest
+    | "--json5" :: v :: rest ->
+      o.json5 <- v;
+      go rest
+    | "--multicore-gate" :: rest ->
+      o.multicore_gate <- true;
+      go rest
+    | "--min-omission-speedup" :: v :: rest ->
+      o.min_omission_speedup <- float_of_string v;
       go rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
@@ -500,16 +517,19 @@ type server_bench = {
   sb_cold_ms : float;
   sb_warm_ms : float;
   sb_rps_jobs1 : float;
-  sb_rps_jobs2 : float;
+  sb_hi_jobs : int;
+  sb_rps_hi : float;
+  sb_trial_pool : int;
 }
 
-let with_bench_daemon ~jobs f =
+let with_bench_daemon ?(trial_pool = 0) ~jobs f =
   let sock = Filename.temp_file "scanatpg_bench" ".sock" in
   let addr = Server.Daemon.Unix_sock sock in
   let cfg =
     {
       (Server.Daemon.default_config addr) with
       Server.Daemon.jobs;
+      trial_pool;
       queue_depth = 64;
       install_signals = false;
       verbose = false;
@@ -563,7 +583,7 @@ let pipelined_rps addr req n =
       done;
       float_of_int n /. Obs.Clock.to_s (Obs.Clock.elapsed_ns t))
 
-let server_roundtrip ~scale =
+let server_roundtrip ?(hi_jobs = 2) ?(trial_pool = 0) ~scale () =
   print_endline "--- server round-trip (cold vs warm cache, req/s) ---";
   let circuits = [ "s27"; "s298" ] in
   let rows =
@@ -589,24 +609,26 @@ let server_roundtrip ~scale =
                   cold *. 1e3, !acc /. float_of_int reps *. 1e3, slow))
         in
         let rps jobs =
-          with_bench_daemon ~jobs (fun addr ->
+          with_bench_daemon ~jobs ~trial_pool (fun addr ->
               pipelined_rps addr req (if slow then 4 else 32))
         in
         let rps1 = rps 1 in
-        let rps2 = rps 2 in
+        let rps_hi = rps hi_jobs in
         Printf.printf
           "  %-8s cold %8.2f ms   warm %8.2f ms (%.1fx)   %7.1f req/s @1  \
-           %7.1f req/s @2\n\
+           %7.1f req/s @%d\n\
            %!"
           name cold_ms warm_ms
           (cold_ms /. warm_ms)
-          rps1 rps2;
+          rps1 rps_hi hi_jobs;
         {
           sb_circuit = name;
           sb_cold_ms = cold_ms;
           sb_warm_ms = warm_ms;
           sb_rps_jobs1 = rps1;
-          sb_rps_jobs2 = rps2;
+          sb_hi_jobs = hi_jobs;
+          sb_rps_hi = rps_hi;
+          sb_trial_pool = trial_pool;
         })
       circuits
   in
@@ -869,16 +891,109 @@ let write_bench4_json path ~scale ~rows =
                \"rps_jobs2\": %.1f}"
               (json_escape r.sb_circuit) r.sb_cold_ms r.sb_warm_ms
               (r.sb_cold_ms /. r.sb_warm_ms)
-              r.sb_rps_jobs1 r.sb_rps_jobs2)
+              r.sb_rps_jobs1 r.sb_rps_hi)
           rows));
   add "}\n";
   Obs.Fileio.write_string path (Buffer.contents b);
   Printf.printf "wrote %s\n%!" path
 
+(* BENCH_5: the multicore speedup gate (schema scanatpg-bench/5).  Written
+   by `--multicore-gate`, consumed by the CI bench job: [omission_speedup]
+   is sequential-vs-speculative wall time at [speculative_jobs] on the
+   runner's real cores, and [best_omission_speedup] is what the
+   [--min-omission-speedup] gate is judged on.  [cores] records
+   [Domain.recommended_domain_count] so a baseline from a differently
+   sized runner is recognisable. *)
+let write_bench5_json path ~scale ~cores ~gate ~compaction ~server =
+  let best =
+    List.fold_left
+      (fun a r -> Float.max a (r.cb_omit_seq_s /. r.cb_omit_spec_s))
+      0.0 compaction
+  in
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"scanatpg-bench/5\",\n";
+  add "  \"scale\": \"%s\",\n" (json_escape scale);
+  add "  \"cores\": %d,\n" cores;
+  add "  \"gate_min_omission_speedup\": %.2f,\n" gate;
+  add "  \"best_omission_speedup\": %.3f,\n" best;
+  add "  \"compaction\": [\n%s\n  ],\n"
+    (String.concat ",\n"
+       (List.map
+          (fun r ->
+            Printf.sprintf
+              "    {\"circuit\": \"%s\", \"frames\": %d, \"faults\": %d, \
+               \"omitted_len\": %d, \"speculative_jobs\": %d, \
+               \"omission_sequential_s\": %.6f, \
+               \"omission_speculative_s\": %.6f, \
+               \"omission_speedup\": %.3f, \
+               \"restoration_sequential_s\": %.6f, \
+               \"restoration_speculative_s\": %.6f, \
+               \"restoration_speedup\": %.3f}"
+              (json_escape r.cb_circuit) r.cb_frames r.cb_faults
+              r.cb_omitted_len r.cb_spec_jobs r.cb_omit_seq_s r.cb_omit_spec_s
+              (r.cb_omit_seq_s /. r.cb_omit_spec_s)
+              r.cb_rest_seq_s r.cb_rest_spec_s
+              (r.cb_rest_seq_s /. r.cb_rest_spec_s))
+          compaction));
+  add "  \"server\": [\n%s\n  ]\n"
+    (String.concat ",\n"
+       (List.map
+          (fun r ->
+            Printf.sprintf
+              "    {\"circuit\": \"%s\", \"cold_ms\": %.3f, \"warm_ms\": \
+               %.3f, \"warm_speedup\": %.3f, \"rps_jobs1\": %.1f, \
+               \"hi_jobs\": %d, \"rps_hi\": %.1f, \"rps_speedup\": %.3f, \
+               \"trial_pool\": %d}"
+              (json_escape r.sb_circuit) r.sb_cold_ms r.sb_warm_ms
+              (r.sb_cold_ms /. r.sb_warm_ms)
+              r.sb_rps_jobs1 r.sb_hi_jobs r.sb_rps_hi
+              (r.sb_rps_hi /. r.sb_rps_jobs1)
+              r.sb_trial_pool)
+          server));
+  add "}\n";
+  Obs.Fileio.write_string path (Buffer.contents b);
+  Printf.printf "wrote %s\n%!" path;
+  best
+
 (* ----------------------------------------------------------------- main *)
+
+(* The CI bench-gate entry point: only the two multicore kernels run —
+   speculative compaction at jobs 1 vs 4 and daemon round-trips at
+   server-jobs 1 vs 4 through a shared 4-domain trial pool — and the run
+   fails (exit 5) when the best omission speedup lands under the
+   [--min-omission-speedup] floor.  Tables, ablations and Bechamel are
+   skipped so the job stays minutes, not tens of minutes. *)
+let run_multicore_gate o =
+  let cores = Domain.recommended_domain_count () in
+  let scale_name =
+    match o.scale with Circuits.Profiles.Quick -> "quick" | _ -> "full"
+  in
+  Printf.printf
+    "scanatpg bench --multicore-gate: scale=%s, %d recommended domains\n\n%!"
+    scale_name cores;
+  let compaction = compaction_compare ~scale:o.scale in
+  let server = server_roundtrip ~scale:o.scale ~hi_jobs:4 ~trial_pool:4 () in
+  let best =
+    write_bench5_json o.json5 ~scale:scale_name ~cores
+      ~gate:o.min_omission_speedup ~compaction ~server
+  in
+  if o.min_omission_speedup > 0.0 && best < o.min_omission_speedup then begin
+    Printf.eprintf
+      "FAIL: best omission speedup %.2fx is under the %.2fx gate (%d cores)\n%!"
+      best o.min_omission_speedup cores;
+    exit 5
+  end;
+  Printf.printf "multicore gate: best omission speedup %.2fx (gate %.2fx)\n%!"
+    best o.min_omission_speedup
 
 let () =
   let o = parse_args () in
+  if o.multicore_gate then begin
+    run_multicore_gate o;
+    exit 0
+  end;
   Printf.printf
     "scanatpg bench: %d circuits, scale=%s, jobs=%d\n\
      (synthetic substitutes for all benchmarks except s27 -- see DESIGN.md)\n\n%!"
@@ -930,7 +1045,9 @@ let () =
   let compaction_rows =
     if o.kernels then compaction_compare ~scale:o.scale else []
   in
-  let server_rows = if o.kernels then server_roundtrip ~scale:o.scale else [] in
+  let server_rows =
+    if o.kernels then server_roundtrip ~scale:o.scale () else []
+  in
   let kernel_rows = if o.kernels then kernels () else [] in
   let scale_name =
     match o.scale with Circuits.Profiles.Quick -> "quick" | _ -> "full"

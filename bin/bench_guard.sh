@@ -1,0 +1,105 @@
+#!/bin/sh
+# Bench-regression guard: compare the per-kernel wall times of a fresh
+# BENCH_5.json (schema scanatpg-bench/5, written by
+# `bench/main.exe --multicore-gate`) against the committed baseline and
+# fail when any kernel drifted more than BENCH_TOLERANCE_PCT percent
+# (default 25) in either direction — a slowdown is a regression, an
+# unexplained speedup usually means the kernel stopped doing the work.
+#
+#     bin/bench_guard.sh BASELINE.json CURRENT.json
+#
+# A per-kernel delta table is written to $GITHUB_STEP_SUMMARY when CI
+# provides one (and always to bench-guard-summary.md next to CURRENT).
+#
+# A baseline with "provisional": true — e.g. recorded on a machine with
+# a different core count than the CI runner — reports the same table but
+# never fails; refresh it from a real CI bench artifact (see
+# EXPERIMENTS.md) to arm enforcement.
+set -eu
+
+baseline=${1:?usage: bin/bench_guard.sh BASELINE.json CURRENT.json}
+current=${2:?usage: bin/bench_guard.sh BASELINE.json CURRENT.json}
+: "${BENCH_TOLERANCE_PCT:=25}"
+
+fail() {
+  echo "bench_guard: FAILED: $*" >&2
+  exit 1
+}
+
+command -v jq > /dev/null 2>&1 \
+  || fail "jq is required (apt-get install jq / brew install jq)"
+[ -f "$baseline" ] || fail "missing baseline $baseline"
+[ -f "$current" ] || fail "missing current $current"
+jq -e '.schema == "scanatpg-bench/5"' "$baseline" > /dev/null \
+  || fail "$baseline is not schema scanatpg-bench/5"
+jq -e '.schema == "scanatpg-bench/5"' "$current" > /dev/null \
+  || fail "$current is not schema scanatpg-bench/5"
+
+# One "name value" line per kernel timing, keyed so baseline and current
+# rows join by name.
+kernels() {
+  jq -r '
+    (.compaction[] | (
+      "omission_sequential_s/\(.circuit) \(.omission_sequential_s)",
+      "omission_speculative_s/\(.circuit) \(.omission_speculative_s)",
+      "restoration_sequential_s/\(.circuit) \(.restoration_sequential_s)",
+      "restoration_speculative_s/\(.circuit) \(.restoration_speculative_s)")),
+    (.server[] | (
+      "server_cold_ms/\(.circuit) \(.cold_ms)",
+      "server_warm_ms/\(.circuit) \(.warm_ms)"))' "$1"
+}
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+kernels "$baseline" | sort > "$tmpdir/base.txt"
+kernels "$current" | sort > "$tmpdir/cur.txt"
+
+provisional=0
+jq -e '.provisional == true' "$baseline" > /dev/null 2>&1 && provisional=1
+
+summary="$(dirname "$current")/bench-guard-summary.md"
+guard_rc=0
+join "$tmpdir/base.txt" "$tmpdir/cur.txt" \
+  | awk -v tol="$BENCH_TOLERANCE_PCT" -v provisional="$provisional" '
+    BEGIN {
+      print "### Bench kernel drift vs baseline (tolerance +/-" tol "%)"
+      print ""
+      if (provisional) {
+        print "> baseline is **provisional** (recorded off-runner):" \
+              " reporting only, not enforced"
+        print ""
+      }
+      print "| kernel | baseline | current | delta | verdict |"
+      print "|---|---:|---:|---:|---|"
+      breaches = 0
+    }
+    {
+      name = $1; base = $2 + 0; cur = $3 + 0
+      if (base <= 0) { delta = 0 } else { delta = (cur - base) / base * 100 }
+      verdict = "ok"
+      if (delta > tol || delta < -tol) { verdict = "BREACH"; breaches++ }
+      printf "| %s | %.4f | %.4f | %+.1f%% | %s |\n", \
+        name, base, cur, delta, verdict
+    }
+    END {
+      print ""
+      if (breaches > 0)
+        printf "%d kernel(s) outside +/-%s%%\n", breaches, tol
+      else
+        print "all kernels within tolerance"
+      exit (provisional ? 0 : (breaches > 0 ? 1 : 0))
+    }' > "$summary" || guard_rc=$?
+
+cat "$summary"
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+  cat "$summary" >> "$GITHUB_STEP_SUMMARY"
+fi
+
+# Kernels present on one side only are a schema/coverage drift the join
+# above silently drops; surface them (new kernels are fine once the
+# baseline is refreshed, vanished ones never are).
+vanished=$(join -v 1 "$tmpdir/base.txt" "$tmpdir/cur.txt" | awk '{print $1}')
+[ -z "$vanished" ] || fail "kernel(s) in baseline but not in current: $vanished"
+
+[ "$guard_rc" -eq 0 ] || fail "kernel drift exceeded +/-${BENCH_TOLERANCE_PCT}%"
+echo "bench_guard: OK"

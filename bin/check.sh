@@ -2,7 +2,7 @@
 # Pre-merge gate: everything must build (libraries, executables, examples,
 # docs) and the whole test suite must pass.  Run from the repo root:
 #
-#     bin/check.sh [--quick | --chaos]
+#     bin/check.sh [--quick] [--chaos]
 #
 # CI and local development use the same gate; a change is mergeable only
 # when this script exits 0.  --quick stops after the build, the test suite
@@ -12,7 +12,10 @@
 # deterministic fault injection (seed pinned via CHAOS_SEED, default 42):
 # every request must end in exactly one typed outcome, the daemon must
 # survive and drain cleanly, and a retried batch must be byte-identical
-# to an uninterrupted one.
+# to an uninterrupted one.  The flags compose: --quick --chaos runs the
+# quick subset AND the chaos soak, and a failure in either fails the gate
+# (an earlier version exited 0 after the soak without ever running the
+# quick subset).
 #
 # Set CHECK_ARTIFACTS to a directory to keep the metrics/trace documents
 # the smoke tests produce (CI uploads them as build artifacts).
@@ -26,7 +29,7 @@ for arg in "$@"; do
     --quick) quick=1 ;;
     --chaos) chaos=1 ;;
     *)
-      echo "check.sh: unknown argument '$arg' (expected --quick or --chaos)" >&2
+      echo "check.sh: unknown argument '$arg' (expected --quick and/or --chaos)" >&2
       exit 2
       ;;
   esac
@@ -55,6 +58,9 @@ keep_artifacts() {
     mkdir -p "$CHECK_ARTIFACTS"
     cp -f "$tmpdir"/*.json "$tmpdir"/*.jsonl "$tmpdir"/*.txt \
       "$CHECK_ARTIFACTS"/ 2>/dev/null || true
+    # The bench gate drops its record in the repo root; keep it with the
+    # rest of the run's telemetry when present.
+    cp -f BENCH_5.json "$CHECK_ARTIFACTS"/ 2>/dev/null || true
   fi
 }
 trap 'keep_artifacts; rm -rf "$tmpdir"' EXIT
@@ -62,7 +68,7 @@ trap 'keep_artifacts; rm -rf "$tmpdir"' EXIT
 echo "== dune build @all =="
 dune build @all || fail "dune build @all"
 
-if [ "$chaos" -eq 1 ]; then
+run_chaos_soak() {
   scanatpg_bin=./_build/default/bin/scanatpg.exe
   [ -x "$scanatpg_bin" ] || fail "missing $scanatpg_bin (dune build @all ran?)"
   : "${CHAOS_SEED:=42}"
@@ -157,7 +163,10 @@ EOF
     "seed=${CHAOS_SEED};writer=error#1" "--retries 4 --backoff-ms 50"
   diff "$tmpdir/clean-responses.jsonl" "$tmpdir/retried-responses.jsonl" \
     || fail "retried batch differs from the uninterrupted run"
+}
 
+if [ "$chaos" -eq 1 ] && [ "$quick" -eq 0 ]; then
+  run_chaos_soak
   echo "check: OK (chaos)"
   exit 0
 fi
@@ -184,7 +193,12 @@ jq -es 'length >= 1 and all(.[]; .stop_ns >= .start_ns)' \
 grep -q 'omission:' "$tmpdir/table.out" || fail "verbose omission summary"
 
 if [ "$quick" -eq 1 ]; then
-  echo "check: OK (quick)"
+  if [ "$chaos" -eq 1 ]; then
+    run_chaos_soak
+    echo "check: OK (quick+chaos)"
+  else
+    echo "check: OK (quick)"
+  fi
   exit 0
 fi
 
@@ -218,12 +232,17 @@ dune exec bin/scanatpg.exe -- run s27 \
   2>/dev/null || fail "uninterrupted run exited non-zero"
 diff "$tmpdir/resumed.out" "$tmpdir/uninterrupted.out" \
   || fail "resumed stdout differs from uninterrupted run"
-# Every counter except the speculative-dispatch accounting (which by
-# design reflects --compact-jobs) must match bit for bit.
-jq -S '.counters | with_entries(select(.key | startswith("compaction.speculative.") | not))' \
+# Every counter except the speculative-dispatch and adaptive-width
+# accounting (which by design reflect --compact-jobs and the dispatch
+# schedule) must match bit for bit.
+jq -S '.counters | with_entries(select(.key
+         | startswith("compaction.speculative.")
+           or startswith("compaction.adaptive.") | not))' \
   "$tmpdir/resumed.json" > "$tmpdir/resumed.counters" \
   || fail "jq on resumed metrics"
-jq -S '.counters | with_entries(select(.key | startswith("compaction.speculative.") | not))' \
+jq -S '.counters | with_entries(select(.key
+         | startswith("compaction.speculative.")
+           or startswith("compaction.adaptive.") | not))' \
   "$tmpdir/uninterrupted.json" > "$tmpdir/uninterrupted.counters" \
   || fail "jq on uninterrupted metrics"
 diff "$tmpdir/resumed.counters" "$tmpdir/uninterrupted.counters" \
@@ -243,10 +262,14 @@ dune exec bin/scanatpg.exe -- compact s298 "$tmpdir/seq.txt" --compact-jobs 3 \
   > "$tmpdir/compact3.out" 2>&1 || fail "compact at --compact-jobs 3"
 diff "$tmpdir/compact1.txt" "$tmpdir/compact3.txt" \
   || fail "compacted sequences differ between --compact-jobs 1 and 3"
-jq -S '.counters | with_entries(select(.key | startswith("compaction.speculative.") | not))' \
+jq -S '.counters | with_entries(select(.key
+         | startswith("compaction.speculative.")
+           or startswith("compaction.adaptive.") | not))' \
   "$tmpdir/compact1.json" > "$tmpdir/compact1.counters" \
   || fail "jq on compact-jobs-1 metrics"
-jq -S '.counters | with_entries(select(.key | startswith("compaction.speculative.") | not))' \
+jq -S '.counters | with_entries(select(.key
+         | startswith("compaction.speculative.")
+           or startswith("compaction.adaptive.") | not))' \
   "$tmpdir/compact3.json" > "$tmpdir/compact3.counters" \
   || fail "jq on compact-jobs-3 metrics"
 diff "$tmpdir/compact1.counters" "$tmpdir/compact3.counters" \
@@ -259,6 +282,11 @@ jq -e '.counters["compaction.speculative.dispatched"] ==
        + .counters["compaction.speculative.discarded"]' \
   "$tmpdir/compact3.json" > /dev/null \
   || fail "speculative dispatch accounting does not balance"
+jq -e '.counters | has("compaction.adaptive.shrinks")
+       and has("compaction.adaptive.trials_saved")
+       and has("compaction.adaptive.arena_reuses")' \
+  "$tmpdir/compact3.json" > /dev/null \
+  || fail "adaptive-width telemetry missing at --compact-jobs 3"
 
 echo "== serve-mode smoke test =="
 # Daemon on a temp socket; pipeline generate (twice, so the second is a

@@ -79,6 +79,15 @@ let compact_jobs_arg =
               waves. Results are identical at any value; see DESIGN.md \
               \xc2\xa710.")
 
+let no_adaptive_arg =
+  Arg.(
+    value & flag
+    & info [ "no-adaptive-width" ]
+        ~doc:"Disable the adaptive speculation-width controller: omission \
+              rounds dispatch the full $(b,--compact-jobs) width every \
+              round instead of tracking the observed acceptance rate. \
+              Results are identical either way; see DESIGN.md \xc2\xa714.")
+
 let metrics_arg =
   Arg.(
     value & opt (some string) None
@@ -127,25 +136,27 @@ let read_sequence path =
        with End_of_file -> ());
       Array.of_list (List.rev !acc))
 
-let setup_scan ~chains ~seed ~jobs ?(compact_jobs = 1) ?(observe = false)
-    circuit =
+let setup_scan ~chains ~seed ~jobs ?(compact_jobs = 1) ?(adaptive = true)
+    ?(observe = false) circuit =
   let scan = Scanins.Scan.insert ~chains circuit in
   let model = Faultmodel.Model.build scan.Scanins.Scan.circuit in
   let cfg =
-    Core.Config.with_compact_jobs compact_jobs
-      (Core.Config.with_sim_jobs jobs
-         { (Core.Config.for_circuit circuit) with
-           Core.Config.chains; seed; observe })
+    Core.Config.with_compact_adaptive adaptive
+      (Core.Config.with_compact_jobs compact_jobs
+         (Core.Config.with_sim_jobs jobs
+            { (Core.Config.for_circuit circuit) with
+              Core.Config.chains; seed; observe }))
   in
   scan, model, cfg
 
 let compact_seq cfg model seq targets ~metrics ~trace =
   let spec = Compaction.Spec.make () in
+  let adaptive = Compaction.Spec.make_adaptive () in
   let restored, targets_r =
     Obs.Metrics.timed metrics ~trace "restore" (fun () ->
         let restored =
           Compaction.Restoration.run ~jobs:cfg.Core.Config.compact_jobs ~spec
-            model seq targets
+            ~adaptive model seq targets
         in
         let targets_r =
           Compaction.Target.compute model restored
@@ -155,10 +166,11 @@ let compact_seq cfg model seq targets ~metrics ~trace =
   in
   let result =
     Obs.Metrics.timed metrics ~trace "omit" (fun () ->
-        Compaction.Omission.run ~metrics ~trace ~spec model restored targets_r
-          cfg.Core.Config.omission)
+        Compaction.Omission.run ~metrics ~trace ~spec ~adaptive model restored
+          targets_r cfg.Core.Config.omission)
   in
   Compaction.Spec.record spec (Obs.Metrics.counters metrics);
+  Compaction.Spec.record_adaptive adaptive (Obs.Metrics.counters metrics);
   result
 
 let omission_summary (o : Compaction.Omission.stats) =
@@ -267,12 +279,13 @@ let generate_cmd =
           ~doc:"Also count good-machine toggle / switching activity \
                 (reported via --metrics).")
   in
-  let run spec scale seed chains jobs compact_jobs no_compact out tester
-      observe metrics_path trace_path trace_format =
+  let run spec scale seed chains jobs compact_jobs no_adaptive no_compact out
+      tester observe metrics_path trace_path trace_format =
     with_obs ~metrics_path ~trace_path ~trace_format (fun metrics trace ->
         let c = load_circuit ~scale spec in
         let scan, model, cfg =
-          setup_scan ~chains ~seed ~jobs ~compact_jobs ~observe c
+          setup_scan ~chains ~seed ~jobs ~compact_jobs
+            ~adaptive:(not no_adaptive) ~observe c
         in
         let sk = Atpg.Scan_knowledge.create scan in
         let flow =
@@ -323,8 +336,8 @@ let generate_cmd =
        ~doc:"Generate (and compact) a unified test sequence for a circuit.")
     Term.(
       const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ jobs_arg
-      $ compact_jobs_arg $ no_compact $ out_arg $ tester_arg $ observe
-      $ metrics_arg $ trace_arg $ trace_format_arg)
+      $ compact_jobs_arg $ no_adaptive_arg $ no_compact $ out_arg $ tester_arg
+      $ observe $ metrics_arg $ trace_arg $ trace_format_arg)
 
 (* ------------------------------------------------------------- compact *)
 
@@ -335,11 +348,14 @@ let compact_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"SEQFILE" ~doc:"Sequence file (one 01x vector per line).")
   in
-  let run spec scale seed chains jobs compact_jobs seqfile out metrics_path
-      trace_path trace_format =
+  let run spec scale seed chains jobs compact_jobs no_adaptive seqfile out
+      metrics_path trace_path trace_format =
     with_obs ~metrics_path ~trace_path ~trace_format (fun metrics trace ->
         let c = load_circuit ~scale spec in
-        let scan, model, cfg = setup_scan ~chains ~seed ~jobs ~compact_jobs c in
+        let scan, model, cfg =
+          setup_scan ~chains ~seed ~jobs ~compact_jobs
+            ~adaptive:(not no_adaptive) c
+        in
         let seq = read_sequence seqfile in
         let nf = Faultmodel.Model.fault_count model in
         let targets =
@@ -367,8 +383,8 @@ let compact_cmd =
        ~doc:"Statically compact a test sequence (restoration, then omission).")
     Term.(
       const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ jobs_arg
-      $ compact_jobs_arg $ seq_arg $ out_arg $ metrics_arg $ trace_arg
-      $ trace_format_arg)
+      $ compact_jobs_arg $ no_adaptive_arg $ seq_arg $ out_arg $ metrics_arg
+      $ trace_arg $ trace_format_arg)
 
 (* --------------------------------------------------------------- table *)
 
@@ -401,17 +417,19 @@ let table_cmd =
           ~doc:"Also count good-machine toggle / switching activity \
                 (reported via --metrics).")
   in
-  let run which names scale csv jobs compact_jobs verbose observe metrics_path
-      trace_path trace_format =
+  let run which names scale csv jobs compact_jobs no_adaptive verbose observe
+      metrics_path trace_path trace_format =
     with_obs ~metrics_path ~trace_path ~trace_format (fun metrics trace ->
         let results =
           List.map
             (fun n ->
               let c = Circuits.Catalog.circuit ~scale n in
               let config =
-                Core.Config.with_compact_jobs compact_jobs
-                  (Core.Config.with_sim_jobs jobs
-                     { (Core.Config.for_circuit c) with Core.Config.observe })
+                Core.Config.with_compact_adaptive (not no_adaptive)
+                  (Core.Config.with_compact_jobs compact_jobs
+                     (Core.Config.with_sim_jobs jobs
+                        { (Core.Config.for_circuit c) with
+                          Core.Config.observe }))
               in
               Core.Pipeline.run ~scale ~config ~metrics ~trace n)
             names
@@ -443,8 +461,8 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Regenerate rows of the paper's Tables 5-7.")
     Term.(
       const run $ which_arg $ circuits_arg $ scale_arg $ csv_arg $ jobs_arg
-      $ compact_jobs_arg $ verbose_arg $ observe_arg $ metrics_arg $ trace_arg
-      $ trace_format_arg)
+      $ compact_jobs_arg $ no_adaptive_arg $ verbose_arg $ observe_arg
+      $ metrics_arg $ trace_arg $ trace_format_arg)
 
 (* ----------------------------------------------------------------- run *)
 
@@ -506,15 +524,17 @@ let run_cmd =
           ~doc:"Also count good-machine toggle / switching activity \
                 (reported via --metrics).")
   in
-  let run spec scale seed chains jobs compact_jobs observe deadline backtracks
-      checkpoint resume every halt_after metrics_path trace_path trace_format =
+  let run spec scale seed chains jobs compact_jobs no_adaptive observe deadline
+      backtracks checkpoint resume every halt_after metrics_path trace_path
+      trace_format =
     with_obs ~metrics_path ~trace_path ~trace_format (fun metrics trace ->
         let c = Circuits.Catalog.circuit ~scale spec in
         let config =
-          Core.Config.with_compact_jobs compact_jobs
-            (Core.Config.with_sim_jobs jobs
-               { (Core.Config.for_circuit c) with
-                 Core.Config.chains; seed; observe })
+          Core.Config.with_compact_adaptive (not no_adaptive)
+            (Core.Config.with_compact_jobs compact_jobs
+               (Core.Config.with_sim_jobs jobs
+                  { (Core.Config.for_circuit c) with
+                    Core.Config.chains; seed; observe }))
         in
         let budget =
           match deadline, backtracks with
@@ -565,9 +585,9 @@ let run_cmd =
              deadline, checkpointing and resume (see DESIGN.md, Resilience).")
     Term.(
       const run $ circuit_arg $ scale_arg $ seed_arg $ chains_arg $ jobs_arg
-      $ compact_jobs_arg $ observe_arg $ deadline_arg $ backtracks_arg
-      $ checkpoint_arg $ resume_arg $ every_arg $ halt_arg $ metrics_arg
-      $ trace_arg $ trace_format_arg)
+      $ compact_jobs_arg $ no_adaptive_arg $ observe_arg $ deadline_arg
+      $ backtracks_arg $ checkpoint_arg $ resume_arg $ every_arg $ halt_arg
+      $ metrics_arg $ trace_arg $ trace_format_arg)
 
 (* ------------------------------------------------------------ diagnose *)
 
@@ -670,6 +690,16 @@ let serve_cmd =
           ~doc:"Worker domains executing requests concurrently. Response \
                 payloads are identical at any value; see DESIGN.md \xc2\xa711.")
   in
+  let trial_pool_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "trial-pool" ] ~docv:"N"
+          ~doc:"Share one daemon-wide pool of $(docv) domains across every \
+                request's speculative compaction trials instead of spawning \
+                per-round islands. Response payloads are identical at any \
+                value; 0 (the default) keeps per-round spawning. See \
+                DESIGN.md \xc2\xa714.")
+  in
   let queue_arg =
     Arg.(
       value & opt int 16
@@ -752,13 +782,14 @@ let serve_cmd =
                 #max-fires. Reconfigure at runtime with the $(b,chaos) op; \
                 $(b,off) clears. See DESIGN.md \xc2\xa713.")
   in
-  let run socket tcp jobs queue cache scale access grace metrics_path
-      trace_path trace_format slow_ms idle read_deadline max_inflight chaos
-      quiet =
+  let run socket tcp jobs trial_pool queue cache scale access grace
+      metrics_path trace_path trace_format slow_ms idle read_deadline
+      max_inflight chaos quiet =
     Server.Daemon.run
       {
         Server.Daemon.addr = parse_addr socket tcp;
         jobs;
+        trial_pool = max 0 trial_pool;
         queue_depth = queue;
         cache_capacity = cache;
         default_scale = scale;
@@ -792,9 +823,9 @@ let serve_cmd =
              admission control, graceful drain and per-request tracing \
              (DESIGN.md \xc2\xa711-\xc2\xa712).")
     Term.(
-      const run $ socket_arg $ tcp_arg $ server_jobs_arg $ queue_arg
-      $ cache_arg $ scale_arg $ access_arg $ grace_arg $ metrics_arg
-      $ trace_arg $ trace_format_arg $ slow_arg $ idle_arg
+      const run $ socket_arg $ tcp_arg $ server_jobs_arg $ trial_pool_arg
+      $ queue_arg $ cache_arg $ scale_arg $ access_arg $ grace_arg
+      $ metrics_arg $ trace_arg $ trace_format_arg $ slow_arg $ idle_arg
       $ read_deadline_arg $ max_inflight_arg $ chaos_arg $ quiet_arg)
 
 (* --------------------------------------------------------------- batch *)

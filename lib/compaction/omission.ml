@@ -8,10 +8,12 @@ type config = {
   window : int;
   horizon : int;
   jobs : int;
+  adaptive : bool;
 }
 
 let default_config =
-  { max_passes = 5; max_trials = None; window = 48; horizon = 128; jobs = 1 }
+  { max_passes = 5; max_trials = None; window = 48; horizon = 128; jobs = 1;
+    adaptive = true }
 
 type stats = {
   trials : int;
@@ -42,9 +44,21 @@ type stats = {
    first acceptance assumed a sequence that no longer exists and are
    discarded.  The committed trace — and with it the sequence, the [det]
    array and the trials/accepted/removed counters — is therefore
-   bit-identical at any [jobs]. *)
-let one_pass model (targets : Target.t) config ~chunk ~spec seq det
-    trial_budget obudget =
+   bit-identical at any [jobs].
+
+   Adaptive width: positions are probed in increasing order and each is
+   committed exactly once (rejections advance past it, an acceptance
+   restarts at it against the shortened sequence), so the committed
+   trial sequence is the same for ANY per-round width trajectory — the
+   width only decides how many trials are precomputed speculatively.
+   The controller exploits that freedom: an acceptance at slot [j]
+   proves the trials beyond [j] were wasted, so the width shrinks to
+   [j + 1]; a streak of fully-rejected rounds means speculation is
+   paying again, so it doubles back up to [config.jobs].  Turning the
+   controller off (or varying [jobs]) changes only dispatch-schedule
+   telemetry ([compaction.speculative.*] / [compaction.adaptive.*]). *)
+let one_pass ?pool model (targets : Target.t) config ~chunk ~spec ~adaptive
+    seq det trial_budget obudget =
   let n = Target.count targets in
   let seq = ref seq in
   let changed = ref false in
@@ -53,6 +67,14 @@ let one_pass model (targets : Target.t) config ~chunk ~spec seq det
   let session =
     Faultsim.create ~jobs:config.jobs model ~fault_ids:targets.Target.fault_ids
   in
+  (* One arena per pass: each round's capture recycles the previous
+     round's packed buffers (the [Spec.map] join guarantees no probe
+     still reads them). *)
+  let arena = Faultsim.arena () in
+  (* Width controller state: the current speculation cap and the length
+     of the ongoing fully-rejected-round streak. *)
+  let cur_width = ref config.jobs in
+  let reject_streak = ref 0 in
   let budget_left () =
     (match trial_budget with
      | Some b -> !b > 0
@@ -64,12 +86,18 @@ let one_pass model (targets : Target.t) config ~chunk ~spec seq det
   while !i < Array.length !seq && budget_left () do
     let len = Array.length !seq in
     let base = !i in
-    let width =
+    let width_full =
       let w = max 1 (min config.jobs (len - base)) in
       match trial_budget with
       | Some b -> max 1 (min w !b)
       | None -> w
     in
+    let width =
+      if config.adaptive then max 1 (min width_full !cur_width)
+      else width_full
+    in
+    adaptive.Spec.trials_saved <-
+      adaptive.Spec.trials_saved + (width_full - width);
     (* One snapshot serves every trial of the round: each trial's fault
        subset is contained in the faults still detected at or after
        [base], and replaying kept vectors from the snapshot is exact. *)
@@ -78,7 +106,9 @@ let one_pass model (targets : Target.t) config ~chunk ~spec seq det
       if det.(k) >= base then
         snap_ids := targets.Target.fault_ids.(k) :: !snap_ids
     done;
-    let snap = Faultsim.snapshot ~fault_ids:(Array.of_list !snap_ids) session in
+    let snap =
+      Faultsim.snapshot ~arena ~fault_ids:(Array.of_list !snap_ids) session
+    in
     let whole = View.of_seq !seq in
     (* Workers own one trial each, so their probe sessions stay
        single-domain; the sequential path keeps fanning a lone probe out
@@ -158,7 +188,7 @@ let one_pass model (targets : Target.t) config ~chunk ~spec seq det
       in
       (subset, c, accept)
     in
-    let results = Spec.map ~jobs:width width trial in
+    let results = Spec.map ?pool ~jobs:width width trial in
     if width > 1 then
       spec.Spec.dispatched <- spec.Spec.dispatched + (width - 1);
     (* Commit left to right; the first acceptance wins the round. *)
@@ -189,22 +219,46 @@ let one_pass model (targets : Target.t) config ~chunk ~spec seq det
          i := p
        | None -> incr j)
     done;
-    if !committed_accept then
-      spec.Spec.discarded <- spec.Spec.discarded + (width - !j - 1)
+    if !committed_accept then begin
+      spec.Spec.discarded <- spec.Spec.discarded + (width - !j - 1);
+      (* An acceptance at slot [j] wasted the [width - j - 1] trials
+         beyond it: narrow the next rounds to what this one used. *)
+      reject_streak := 0;
+      if config.adaptive && !j + 1 < width then begin
+        cur_width := !j + 1;
+        adaptive.Spec.shrinks <- adaptive.Spec.shrinks + 1
+      end
+    end
     else begin
       (* Whole round rejected: keep all [width] vectors and move on. *)
       Faultsim.advance_view session (View.slice whole base width);
-      i := base + width
+      i := base + width;
+      (* Every speculative trial was consumed; two such rounds in a row
+         mean speculation pays again, so widen back toward the cap. *)
+      incr reject_streak;
+      if config.adaptive && !reject_streak >= 2 && !cur_width < config.jobs
+      then begin
+        cur_width := min config.jobs (2 * !cur_width);
+        adaptive.Spec.widens <- adaptive.Spec.widens + 1;
+        reject_streak := 0
+      end
     end
   done;
+  adaptive.Spec.arena_reuses <-
+    adaptive.Spec.arena_reuses + Faultsim.arena_hits arena;
   !seq, !changed, (!trials, !accepted, !removed)
 
-let run ?(budget = Obs.Budget.unlimited) ?metrics ?trace ?spec model seq
-    (targets : Target.t) config =
+let run ?(budget = Obs.Budget.unlimited) ?metrics ?trace ?spec ?adaptive ?pool
+    model seq (targets : Target.t) config =
   let spec =
     match spec with
     | Some s -> s
     | None -> Spec.make ()
+  in
+  let adaptive =
+    match adaptive with
+    | Some a -> a
+    | None -> Spec.make_adaptive ()
   in
   let n = Target.count targets in
   let det = Array.copy targets.Target.det_times in
@@ -244,8 +298,8 @@ let run ?(budget = Obs.Budget.unlimited) ?metrics ?trace ?spec model seq
         in
         let seq', changed, (t, a, r) =
           timed (fun () ->
-              one_pass model targets config ~chunk ~spec !seq det trial_budget
-                budget)
+              one_pass ?pool model targets config ~chunk ~spec ~adaptive !seq
+                det trial_budget budget)
         in
         seq := seq';
         trials := !trials + t;

@@ -39,12 +39,17 @@ type stats = {
 
 let make_stats () = { restored = 0; probes = 0; batch_sims = 0 }
 
-let run ?stats ?(budget = Obs.Budget.unlimited) ?(jobs = 1) ?spec model seq
-    (targets : Target.t) =
+let run ?stats ?(budget = Obs.Budget.unlimited) ?(jobs = 1) ?spec ?adaptive
+    ?pool model seq (targets : Target.t) =
   let spec =
     match spec with
     | Some s -> s
     | None -> Spec.make ()
+  in
+  let adaptive =
+    match adaptive with
+    | Some a -> a
+    | None -> Spec.make_adaptive ()
   in
   let count f =
     match stats with
@@ -54,6 +59,12 @@ let run ?stats ?(budget = Obs.Budget.unlimited) ?(jobs = 1) ?spec model seq
   let len = Array.length seq in
   let n = Target.count targets in
   let keep = Array.make len false in
+  (* Generation counter of the keep mask: bumped whenever a commit
+     actually sets a bit.  Bits are only ever set, never cleared, so an
+     unchanged generation proves the live selection still equals a
+     wave's frozen copy — a speculative result frozen at that generation
+     is exact and needs no revalidation simulation. *)
+  let keep_gen = ref 0 in
   let order = Array.init n Fun.id in
   Array.sort
     (fun a b ->
@@ -138,9 +149,30 @@ let run ?stats ?(budget = Obs.Budget.unlimited) ?(jobs = 1) ?spec model seq
       (fun p ->
         if not keep.(p) then begin
           keep.(p) <- true;
+          incr keep_gen;
           count (fun s -> s.restored <- s.restored + 1)
         end)
       fresh
+  in
+  (* Is member [k]'s terminating probe still exact?  Its search verified
+     detection over (keep0 \xe2\x88\xaa fresh) limited to [dt]; the live selection
+     limited to [dt] is (keep \xe2\x88\xaa fresh).  Bits are set-only, so the two
+     differ exactly where a position at or below [dt] was restored since
+     the wave froze and is not one the member restores itself — if no
+     such position exists, the probe's selection IS the live one and the
+     revalidation replay proves nothing it did not already prove. *)
+  let probe_still_exact keep0 fresh k =
+    let dt = targets.Target.det_times.(k) in
+    let in_fresh = Hashtbl.create 16 in
+    List.iter (fun p -> Hashtbl.replace in_fresh p ()) fresh;
+    let ok = ref true in
+    let p = ref 0 in
+    while !ok && !p <= dt do
+      if keep.(!p) && (not keep0.(!p)) && not (Hashtbl.mem in_fresh !p) then
+        ok := false;
+      incr p
+    done;
+    !ok
   in
   (* Does the live selection plus [fresh] still detect member [k]?  One
      single-fault simulation — the cheap revalidation of a speculative
@@ -174,7 +206,10 @@ let run ?stats ?(budget = Obs.Budget.unlimited) ?(jobs = 1) ?spec model seq
         let wave = Array.of_list (List.filteri (fun i _ -> i < wave_width) ks) in
         let w = Array.length wave in
         let keep0 = Array.copy keep in
-        let results = Spec.map ~jobs w (fun j -> restore_set keep0 wave.(j)) in
+        let gen0 = !keep_gen in
+        let results =
+          Spec.map ?pool ~jobs w (fun j -> restore_set keep0 wave.(j))
+        in
         if w > 1 then spec.Spec.dispatched <- spec.Spec.dispatched + (w - 1);
         Array.iteri
           (fun m k ->
@@ -197,6 +232,21 @@ let run ?stats ?(budget = Obs.Budget.unlimited) ?(jobs = 1) ?spec model seq
               spec.Spec.committed <- spec.Spec.committed + 1;
               apply fresh;
               detected.(k) <- true
+            end
+            else if !keep_gen = gen0 || probe_still_exact keep0 fresh k then
+            begin
+              (* The keep mask is unchanged since the wave froze (equal
+                 generations — the cheap test) or unchanged below this
+                 member's detection time (the positions that matter):
+                 the member's frozen context is still exact and its own
+                 terminating probe already verified detection — skip the
+                 revalidation replay. *)
+              spec.Spec.committed <- spec.Spec.committed + 1;
+              adaptive.Spec.replay_skipped <-
+                adaptive.Spec.replay_skipped + 1;
+              apply fresh;
+              detected.(k) <- true;
+              simulate_members batch
             end
             else if revalidate fresh k then begin
               spec.Spec.committed <- spec.Spec.committed + 1;

@@ -33,9 +33,16 @@ val make_stats : unit -> stats
 (** [run model seq targets] returns the restored subsequence (original
     vector order; a subset of [seq]'s vectors).  The result is guaranteed to
     detect every target.  [stats], when given, accumulates the run's work
-    counters; [spec] accumulates the speculative-dispatch counters; [jobs]
-    (default 1) bounds the domains used for wave evaluation and batch
-    simulation without affecting any result.
+    counters; [spec] accumulates the speculative-dispatch counters;
+    [adaptive] accumulates [replay_skipped] — wave members committed
+    without a revalidation simulation because the keep mask did not move
+    at or below their detection time since their frozen copy was taken
+    (bits are set-only, so the member's terminating probe simulated
+    exactly the live selection and already verified detection);
+    [pool] draws wave-evaluation domains
+    from a shared {!Spec.Pool}; [jobs] (default 1) bounds the domains
+    used for wave evaluation and batch simulation without affecting any
+    result.
 
     When [budget] trips mid-run the procedure degrades gracefully: probing
     stops and every unfinished fault restores its whole prefix [[0..dt]],
@@ -46,4 +53,6 @@ val run :
   ?budget:Obs.Budget.t ->
   ?jobs:int ->
   ?spec:Spec.counters ->
+  ?adaptive:Spec.adaptive ->
+  ?pool:Spec.Pool.t ->
   Faultmodel.Model.t -> Logicsim.Vectors.t -> Target.t -> Logicsim.Vectors.t

@@ -75,16 +75,18 @@ let zero_omit_stats =
    [Target.compute]: a frozen probe there would silently drop compaction
    targets, whereas restoration and omission degrade to a valid (merely
    longer) sequence. *)
-let compact cfg model seq targets ~metrics ~trace ~rstats ~budget =
+let compact ?pool cfg model seq targets ~metrics ~trace ~rstats ~budget =
   (* Speculative-dispatch accounting for both procedures, folded into the
      metrics counters below — i.e. before any checkpoint captures them, so
      a resumed run reports the same totals as an uninterrupted one. *)
   let spec = Compaction.Spec.make () in
+  let adaptive = Compaction.Spec.make_adaptive () in
   let restored, targets_r =
     Obs.Metrics.timed metrics ~trace "restore" (fun () ->
         let restored =
           Compaction.Restoration.run ~stats:rstats ~budget
-            ~jobs:cfg.Config.compact_jobs ~spec model seq targets
+            ~jobs:cfg.Config.compact_jobs ~spec ~adaptive ?pool model seq
+            targets
         in
         let targets_r =
           Compaction.Target.compute ~jobs:cfg.Config.sim_jobs model restored
@@ -101,11 +103,12 @@ let compact cfg model seq targets ~metrics ~trace ~rstats ~budget =
   in
   let omitted, _, ostats =
     Obs.Metrics.timed metrics ~trace "omit" (fun () ->
-        Compaction.Omission.run ~budget ~metrics ~trace ~spec model restored
-          targets_r omission)
+        Compaction.Omission.run ~budget ~metrics ~trace ~spec ~adaptive ?pool
+          model restored targets_r omission)
   in
   let c = Obs.Metrics.counters metrics in
   Compaction.Spec.record spec c;
+  Compaction.Spec.record_adaptive adaptive c;
   Obs.Counters.add c "omit.trials" ostats.Compaction.Omission.trials;
   Obs.Counters.add c "omit.accepted" ostats.Compaction.Omission.accepted;
   Obs.Counters.add c "omit.rejected" ostats.Compaction.Omission.rejected;
@@ -116,7 +119,7 @@ let compact cfg model seq targets ~metrics ~trace ~rstats ~budget =
 
 let run ?(scale = Circuits.Profiles.Quick) ?config ?metrics ?(trace = Obs.Trace.null)
     ?(budget = Obs.Budget.unlimited) ?checkpoint ?resume
-    ?(checkpoint_every = 25) ?halt_after name =
+    ?(checkpoint_every = 25) ?halt_after ?pool name =
   let metrics =
     match metrics with
     | Some m -> m
@@ -235,7 +238,7 @@ let run ?(scale = Circuits.Profiles.Quick) ?config ?metrics ?(trace = Obs.Trace.
       | Some { Checkpoint.p_compact = Some (r, o, s); _ } -> r, o, s
       | _ ->
         let r, o, s =
-          compact cfg model seq targets ~metrics ~trace ~rstats ~budget
+          compact ?pool cfg model seq targets ~metrics ~trace ~rstats ~budget
         in
         save_stage
           (Checkpoint.Phased
@@ -362,7 +365,7 @@ let run ?(scale = Circuits.Profiles.Quick) ?config ?metrics ?(trace = Obs.Trace.
       (* Row 7's compaction accumulates into the same restore/omit phases
          and counters as row 6's. *)
       let restored7, omitted7, _ =
-        compact cfg model t7 targets7 ~metrics ~trace ~rstats ~budget
+        compact ?pool cfg model t7 targets7 ~metrics ~trace ~rstats ~budget
       in
       Some
         {

@@ -1185,34 +1185,130 @@ type snapshot = {
   snap_nff : int;
 }
 
-let snapshot ?fault_ids t =
+(* A snapshot arena recycles one capture's buffers into the next: the
+   per-fault index/det arrays, the good-state array, and the per-group
+   packed words are all overwritten in place when their sizes still fit
+   (repacking shrinks the group count; the pool keeps the high-water
+   set).  Taking a new snapshot from an arena therefore invalidates the
+   previous snapshot taken from it — callers must finish every probe of
+   a round before capturing the next (the speculative [Spec.map] join is
+   exactly that barrier). *)
+type snapshot_arena = {
+  mutable ar_captured : Bytes.t;
+  mutable ar_group_of : int array;
+  mutable ar_slot_of : int array;
+  mutable ar_det : int array;
+  mutable ar_good : Logic.t array;
+  mutable ar_pool : snap_group array;  (* reusable group buffers *)
+  mutable ar_hits : int;  (* captures that reused at least one buffer *)
+}
+
+let arena () =
+  { ar_captured = Bytes.empty;
+    ar_group_of = [||];
+    ar_slot_of = [||];
+    ar_det = [||];
+    ar_good = [||];
+    ar_pool = [||];
+    ar_hits = 0 }
+
+let arena_hits a = a.ar_hits
+
+let snapshot ?arena:ar ?fault_ids t =
   let ids =
     match fault_ids with
     | Some a -> a
     | None -> t.fault_ids
   in
-  let captured = Bytes.make (Array.length t.group_of) '\000' in
+  let fault_total = Array.length t.group_of in
+  let nff = Array.length t.dffs in
+  let reused = ref false in
+  let captured =
+    match ar with
+    | Some a when Bytes.length a.ar_captured = fault_total ->
+      reused := true;
+      Bytes.fill a.ar_captured 0 fault_total '\000';
+      a.ar_captured
+    | _ -> Bytes.make fault_total '\000'
+  in
   Array.iter
     (fun fid ->
       check_target t fid;
       Bytes.set captured fid '\001')
     ids;
-  {
-    snap_model = t.model;
-    snap_good = good_state t;
-    snap_captured = captured;
-    snap_group_of = Array.copy t.group_of;
-    snap_slot_of = Array.copy t.slot_of;
-    snap_det = Array.copy t.det_time;
-    snap_groups =
-      Array.map
-        (fun g ->
-          { sg_fzero = Array.copy g.fzero;
-            sg_fone = Array.copy g.fone;
-            sg_dmark = Bytes.copy g.dmark })
-        t.groups;
-    snap_nff = Array.length t.dffs;
-  }
+  let copy_into get src =
+    match ar with
+    | Some a when Array.length (get a) = Array.length src ->
+      reused := true;
+      let dst = get a in
+      Array.blit src 0 dst 0 (Array.length src);
+      dst
+    | _ -> Array.copy src
+  in
+  let good =
+    match ar with
+    | Some a when Array.length a.ar_good = nff ->
+      reused := true;
+      Goodsim.state_into t.good a.ar_good;
+      a.ar_good
+    | _ -> good_state t
+  in
+  let ngroups = Array.length t.groups in
+  let groups =
+    Array.mapi
+      (fun gi g ->
+        let buf =
+          match ar with
+          | Some a
+            when gi < Array.length a.ar_pool
+                 && Array.length a.ar_pool.(gi).sg_fzero = nff ->
+            reused := true;
+            a.ar_pool.(gi)
+          | _ ->
+            { sg_fzero = Array.make nff 0;
+              sg_fone = Array.make nff 0;
+              sg_dmark = Bytes.make nff '\000' }
+        in
+        Array.blit g.fzero 0 buf.sg_fzero 0 nff;
+        Array.blit g.fone 0 buf.sg_fone 0 nff;
+        Bytes.blit g.dmark 0 buf.sg_dmark 0 nff;
+        buf)
+      t.groups
+  in
+  (match ar with
+   | Some a ->
+     a.ar_captured <- captured;
+     a.ar_good <- good;
+     (* Keep the high-water buffer set so a shrinking group count still
+        reuses every live buffer next round. *)
+     if ngroups > 0 then
+       if Array.length a.ar_pool < ngroups then begin
+         let pool = Array.make ngroups groups.(0) in
+         Array.blit groups 0 pool 0 ngroups;
+         a.ar_pool <- pool
+       end
+       else Array.blit groups 0 a.ar_pool 0 ngroups;
+     if !reused then a.ar_hits <- a.ar_hits + 1
+   | None -> ());
+  let snap =
+    {
+      snap_model = t.model;
+      snap_good = good;
+      snap_captured = captured;
+      snap_group_of = copy_into (fun a -> a.ar_group_of) t.group_of;
+      snap_slot_of = copy_into (fun a -> a.ar_slot_of) t.slot_of;
+      snap_det = copy_into (fun a -> a.ar_det) t.det_time;
+      snap_groups = groups;
+      snap_nff = nff;
+    }
+  in
+  (match ar with
+   | Some a ->
+     a.ar_group_of <- snap.snap_group_of;
+     a.ar_slot_of <- snap.snap_slot_of;
+     a.ar_det <- snap.snap_det
+   | None -> ());
+  snap
 
 (* Mirror of [faulty_state], reading the captured words. *)
 let snapshot_state snap fid =

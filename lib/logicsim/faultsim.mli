@@ -151,11 +151,27 @@ val popcount : int -> int
 
 type snapshot
 
+(** A reusable buffer set for repeated captures.  Speculative compaction
+    snapshots the same session once per round; an arena lets round [r+1]
+    overwrite round [r]'s packed buffers in place instead of
+    reallocating them.  {b Taking a new snapshot from an arena
+    invalidates every earlier snapshot taken from it} — callers must
+    finish all probes against the previous capture first (the
+    speculative [map]'s join is that barrier). *)
+type snapshot_arena
+
+val arena : unit -> snapshot_arena
+
+(** Number of captures that reused at least one arena buffer — feeds the
+    [compaction.adaptive.arena_reuses] counter. *)
+val arena_hits : snapshot_arena -> int
+
 (** [snapshot t] captures the current good and per-fault states for
     [fault_ids] (default: every target of [t]).  The snapshot is
     positioned at [time t]; fault states of already-detected faults
-    equal the good state. *)
-val snapshot : ?fault_ids:int array -> t -> snapshot
+    equal the good state.  With [arena], buffers of a previous capture
+    of compatible shape are reused (see {!snapshot_arena}). *)
+val snapshot : ?arena:snapshot_arena -> ?fault_ids:int array -> t -> snapshot
 
 (** [of_snapshot snap ~fault_ids] starts a fresh session continuing from
     the snapshot's position, over a subset of the captured faults.

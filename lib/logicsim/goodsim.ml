@@ -43,6 +43,11 @@ let set_state t s =
 
 let state t = Array.copy t.state
 
+let state_into t dst =
+  if Array.length dst <> Array.length t.state then
+    invalid_arg "Goodsim.state_into: state length mismatch";
+  Array.blit t.state 0 dst 0 (Array.length t.state)
+
 let eval_node c values id =
   let nd = Circuit.node c id in
   let f = nd.Circuit.fanins in

@@ -24,6 +24,11 @@ val set_state : t -> Netlist.Logic.t array -> unit
 (** Copy of the current flip-flop state. *)
 val state : t -> Netlist.Logic.t array
 
+(** [state_into t dst] copies the current flip-flop state into [dst]
+    without allocating — the snapshot arena's reader.
+    @raise Invalid_argument on a length mismatch. *)
+val state_into : t -> Netlist.Logic.t array -> unit
+
 (** [step t vec] simulates one clock cycle.  @raise Invalid_argument when
     [vec] does not cover every primary input. *)
 val step : t -> Netlist.Logic.t array -> unit
