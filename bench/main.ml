@@ -29,8 +29,11 @@ type options = {
   mutable json3 : string;
   mutable json4 : string;
   mutable json5 : string;
+  mutable json6 : string;
   mutable multicore_gate : bool;
   mutable min_omission_speedup : float;
+  mutable fleet_gate : bool;
+  mutable min_fleet_speedup : float;
 }
 
 let parse_args () =
@@ -46,8 +49,11 @@ let parse_args () =
       json3 = "BENCH_3.json";
       json4 = "BENCH_4.json";
       json5 = "BENCH_5.json";
+      json6 = "BENCH_6.json";
       multicore_gate = false;
       min_omission_speedup = 0.0;
+      fleet_gate = false;
+      min_fleet_speedup = 0.0;
     }
   in
   let rec go = function
@@ -90,6 +96,15 @@ let parse_args () =
       go rest
     | "--min-omission-speedup" :: v :: rest ->
       o.min_omission_speedup <- float_of_string v;
+      go rest
+    | "--json6" :: v :: rest ->
+      o.json6 <- v;
+      go rest
+    | "--fleet-gate" :: rest ->
+      o.fleet_gate <- true;
+      go rest
+    | "--min-fleet-speedup" :: v :: rest ->
+      o.min_fleet_speedup <- float_of_string v;
       go rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
@@ -635,6 +650,199 @@ let server_roundtrip ?(hi_jobs = 2) ?(trial_pool = 0) ~scale () =
   print_newline ();
   rows
 
+(* ------------------------------------------------------------ fleet gate *)
+
+let fleet_shard_main socket =
+  Server.Daemon.run
+    {
+      (Server.Daemon.default_config (Server.Daemon.Unix_sock socket)) with
+      Server.Daemon.queue_depth = 256;
+      install_signals = false;
+      verbose = false;
+    }
+
+let with_bench_router ~shards ~result_cache_capacity f =
+  let sock = Filename.temp_file "scanatpg_fleet" ".sock" in
+  let addr = Server.Daemon.Unix_sock sock in
+  let cfg =
+    {
+      (Fleet.Router.default_config addr ~shards
+         ~launcher:(Fleet.Shard.Inproc fleet_shard_main))
+      with
+      Fleet.Router.result_cache_capacity;
+      install_signals = false;
+      verbose = false;
+    }
+  in
+  let d = Domain.spawn (fun () -> Fleet.Router.run cfg) in
+  let rec wait_up n =
+    if n > 250 then failwith "bench router did not come up"
+    else
+      match Server.Client.connect addr with
+      | c -> Server.Client.close c
+      | exception Unix.Unix_error _ ->
+        Unix.sleepf 0.02;
+        wait_up (n + 1)
+  in
+  wait_up 0;
+  let r = f addr in
+  (let c = Server.Client.connect addr in
+   ignore (Server.Client.call c {|{"op":"shutdown"}|});
+   Server.Client.close c);
+  let code = Domain.join d in
+  if code <> 0 then failwith "bench router exited non-zero";
+  (try Sys.remove sock with Sys_error _ -> ());
+  r
+
+(* Shard-balanced cold workload.  Every request carries the same s208
+   netlist as explicit .bench text, distinguished only by a trailing
+   comment line: the compute cost is identical for every variant while
+   the content hash — and therefore the shard — differs.  Variants are
+   picked greedily until every one of [shards] shards owns [per_shard]
+   of them, so the 4-shard run is not at the mercy of catalog-name hash
+   luck.  Distinct seeds per variant defeat the result cache, keeping
+   the throughput measurement genuinely cold. *)
+let fleet_workload ~shards ~per_shard ~seeds =
+  let base =
+    Netlist.Bench_format.to_string
+      (Circuits.Catalog.circuit ~scale:Circuits.Profiles.Quick "s208")
+  in
+  let counts = Array.make shards 0 in
+  let picked = ref [] in
+  let npicked = ref 0 in
+  let k = ref 0 in
+  while !npicked < shards * per_shard do
+    let text = Printf.sprintf "%s# shard-balance variant %d\n" base !k in
+    let key =
+      Server.Cache.key_of (Server.Protocol.Bench text)
+        ~scale:Circuits.Profiles.Quick ~chains:1
+    in
+    let h = Server.Cache.fnv1a64 key in
+    let s =
+      Int64.to_int
+        (Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int shards))
+    in
+    if counts.(s) < per_shard then begin
+      counts.(s) <- counts.(s) + 1;
+      incr npicked;
+      picked := text :: !picked
+    end;
+    incr k
+  done;
+  let id = ref 0 in
+  List.concat_map
+    (fun text ->
+      List.map
+        (fun seed ->
+          incr id;
+          Obs.Json.to_string
+            (Obs.Json.Obj
+               [ "id", Obs.Json.Int !id;
+                 "op", Obs.Json.Str "generate";
+                 "bench", Obs.Json.Str text;
+                 "seed", Obs.Json.Int seed;
+                 "sequence", Obs.Json.Bool false ]))
+        seeds)
+    (List.rev !picked)
+
+(* One pipelined pass: write the whole stream, collect responses by id
+   on a reader domain (the ids are pre-stamped 1..n, so two passes of
+   the same stream are directly comparable for byte identity). *)
+let fleet_pass addr reqs =
+  let arr = Array.of_list reqs in
+  let n = Array.length arr in
+  let c = Server.Client.connect addr in
+  Fun.protect
+    ~finally:(fun () -> Server.Client.close c)
+    (fun () ->
+      let fd = Server.Client.fd c in
+      let responses = Array.make n "" in
+      let t = Obs.Clock.now_ns () in
+      let reader =
+        Domain.spawn (fun () ->
+            let rec go got =
+              if got = n then ()
+              else
+                match Server.Protocol.read_frame fd with
+                | Some p ->
+                  (match Fleet.Result_cache.split_id p with
+                  | Some (id, _) when id >= 1 && id <= n ->
+                    responses.(id - 1) <- p
+                  | _ -> ());
+                  go (got + 1)
+                | None -> ()
+            in
+            go 0)
+      in
+      Array.iter (fun p -> Server.Protocol.write_frame fd p) arr;
+      Domain.join reader;
+      let wall = Obs.Clock.to_s (Obs.Clock.elapsed_ns t) in
+      responses, wall)
+
+let fleet_all_ok responses =
+  Array.for_all
+    (fun p ->
+      match Option.bind (Obs.Json.member "status" (Obs.Json.parse p))
+              Obs.Json.get_str with
+      | Some "ok" -> true
+      | _ -> false
+      | exception Obs.Json.Parse_error _ -> false)
+    responses
+
+type fleet_row = {
+  fb_shards : int;
+  fb_cold_wall_s : float;
+  fb_cold_rps : float;
+  fb_warm_wall_s : float;
+  fb_warm_rps : float;
+  fb_hit_rate : float;
+  fb_byte_identical : bool;
+  fb_all_ok : bool;
+}
+
+let fleet_topology ~shards reqs =
+  let n = List.length reqs in
+  with_bench_router ~shards ~result_cache_capacity:(2 * n) (fun addr ->
+      let cold, cold_wall = fleet_pass addr reqs in
+      (* two warm passes: a hit-rate sweep, not a single lucky lookup *)
+      let warm1, warm_wall = fleet_pass addr reqs in
+      let warm2, _ = fleet_pass addr reqs in
+      let stats =
+        let c = Server.Client.connect addr in
+        Fun.protect
+          ~finally:(fun () -> Server.Client.close c)
+          (fun () -> Server.Client.call c {|{"id":1,"op":"stats"}|})
+      in
+      let counter name =
+        match
+          Option.bind
+            (Option.bind
+               (Obs.Json.member "counters" (Obs.Json.parse stats))
+               (Obs.Json.member name))
+            Obs.Json.get_int
+        with
+        | Some v -> v
+        | None -> 0
+      in
+      let hits = counter "server.result_hit" in
+      let misses = counter "server.result_miss" in
+      let hit_rate =
+        (* of the two warm passes: the cold pass misses by design *)
+        float_of_int hits /. float_of_int (max 1 (2 * n))
+      in
+      ignore misses;
+      {
+        fb_shards = shards;
+        fb_cold_wall_s = cold_wall;
+        fb_cold_rps = float_of_int n /. cold_wall;
+        fb_warm_wall_s = warm_wall;
+        fb_warm_rps = float_of_int n /. warm_wall;
+        fb_hit_rate = hit_rate;
+        fb_byte_identical = cold = warm1 && warm1 = warm2;
+        fb_all_ok =
+          fleet_all_ok cold && fleet_all_ok warm1 && fleet_all_ok warm2;
+      })
+
 (* ----------------------------------------------------- bechamel kernels *)
 
 let kernels () =
@@ -957,6 +1165,119 @@ let write_bench5_json path ~scale ~cores ~gate ~compaction ~server =
   Printf.printf "wrote %s\n%!" path;
   best
 
+(* BENCH_6: the fleet gate (schema scanatpg-bench/6).  Written by
+   `--fleet-gate`, consumed by the CI bench job: [fleet_speedup] is
+   cold-stream throughput at 4 shards over 1 shard on the runner's real
+   cores, [warm_hit_rate] is the result-cache hit rate over the two
+   warm passes, and [byte_identical] asserts cached == computed.  The
+   hit-rate and byte-identity gates are machine-independent; the
+   speedup gate only means something on a multi-core runner. *)
+let write_bench6_json path ~scale ~cores ~gate ~requests ~workload ~rows =
+  let find shards =
+    List.find_opt (fun r -> r.fb_shards = shards) rows
+  in
+  let speedup =
+    match find 1, find 4 with
+    | Some r1, Some r4 -> r4.fb_cold_rps /. r1.fb_cold_rps
+    | _ -> 0.0
+  in
+  let hit_rate =
+    List.fold_left (fun a r -> Float.min a r.fb_hit_rate) 1.0 rows
+  in
+  let ident = List.for_all (fun r -> r.fb_byte_identical) rows in
+  let all_ok = List.for_all (fun r -> r.fb_all_ok) rows in
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"scanatpg-bench/6\",\n";
+  add "  \"scale\": \"%s\",\n" (json_escape scale);
+  add "  \"cores\": %d,\n" cores;
+  add "  \"gate_min_fleet_speedup\": %.2f,\n" gate;
+  add "  \"requests\": %d,\n" requests;
+  add "  \"workload\": \"%s\",\n" (json_escape workload);
+  add "  \"fleet_speedup\": %.3f,\n" speedup;
+  add "  \"warm_hit_rate\": %.4f,\n" hit_rate;
+  add "  \"byte_identical\": %b,\n" ident;
+  add "  \"all_ok\": %b,\n" all_ok;
+  add "  \"fleet\": [\n%s\n  ]\n"
+    (String.concat ",\n"
+       (List.map
+          (fun r ->
+            Printf.sprintf
+              "    {\"shards\": %d, \"cold_wall_s\": %.6f, \"cold_rps\": \
+               %.3f, \"warm_wall_s\": %.6f, \"warm_rps\": %.3f, \
+               \"warm_hit_rate\": %.4f, \"byte_identical\": %b, \
+               \"all_ok\": %b}"
+              r.fb_shards r.fb_cold_wall_s r.fb_cold_rps r.fb_warm_wall_s
+              r.fb_warm_rps r.fb_hit_rate r.fb_byte_identical r.fb_all_ok)
+          rows));
+  add "}\n";
+  Obs.Fileio.write_string path (Buffer.contents b);
+  Printf.printf "wrote %s\n%!" path;
+  speedup, hit_rate, ident, all_ok
+
+(* The CI fleet-gate entry point: a shard-balanced cold stream through a
+   1-shard and a 4-shard router (throughput ratio is the speedup), then
+   two warm passes of the same stream per topology (result-cache sweep).
+   Hit-rate and byte-identity failures are hard errors anywhere; the
+   speedup floor is opt-in via --min-fleet-speedup because it needs real
+   cores. *)
+let run_fleet_gate o =
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "scanatpg bench --fleet-gate: %d recommended domains\n\n%!" cores;
+  let per_shard = 2 and seeds = [ 1; 2; 3 ] in
+  let reqs = fleet_workload ~shards:4 ~per_shard ~seeds in
+  let n = List.length reqs in
+  let workload =
+    Printf.sprintf
+      "s208 x %d content-hash-balanced bench variants x %d seeds"
+      (4 * per_shard) (List.length seeds)
+  in
+  Printf.printf "  workload: %s (%d requests)\n%!" workload n;
+  let rows =
+    List.map
+      (fun shards ->
+        let r = fleet_topology ~shards reqs in
+        Printf.printf
+          "  %d shard(s): cold %6.2fs (%6.2f req/s)   warm %6.3fs \
+           (%7.1f req/s)   hit-rate %.2f   identical %b\n%!"
+          shards r.fb_cold_wall_s r.fb_cold_rps r.fb_warm_wall_s
+          r.fb_warm_rps r.fb_hit_rate r.fb_byte_identical;
+        r)
+      [ 1; 4 ]
+  in
+  let speedup, hit_rate, ident, all_ok =
+    write_bench6_json o.json6 ~scale:"quick" ~cores
+      ~gate:o.min_fleet_speedup ~requests:n ~workload ~rows
+  in
+  if not all_ok then begin
+    Printf.eprintf "FAIL: a fleet request did not come back ok\n%!";
+    exit 5
+  end;
+  if not ident then begin
+    Printf.eprintf
+      "FAIL: a memoized response differed from the computed one\n%!";
+    exit 5
+  end;
+  if hit_rate < 0.9 then begin
+    Printf.eprintf
+      "FAIL: warm result-cache hit rate %.2f is under the 0.90 gate\n%!"
+      hit_rate;
+    exit 5
+  end;
+  if o.min_fleet_speedup > 0.0 && speedup < o.min_fleet_speedup then begin
+    Printf.eprintf
+      "FAIL: 4-shard fleet speedup %.2fx is under the %.2fx gate (%d \
+       cores)\n%!"
+      speedup o.min_fleet_speedup cores;
+    exit 5
+  end;
+  Printf.printf
+    "fleet gate: speedup %.2fx (gate %.2fx), warm hit-rate %.2f, cached \
+     == computed\n%!"
+    speedup o.min_fleet_speedup hit_rate
+
 (* ----------------------------------------------------------------- main *)
 
 (* The CI bench-gate entry point: only the two multicore kernels run —
@@ -990,8 +1311,9 @@ let run_multicore_gate o =
 
 let () =
   let o = parse_args () in
-  if o.multicore_gate then begin
-    run_multicore_gate o;
+  if o.multicore_gate || o.fleet_gate then begin
+    if o.multicore_gate then run_multicore_gate o;
+    if o.fleet_gate then run_fleet_gate o;
     exit 0
   end;
   Printf.printf

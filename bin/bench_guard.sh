@@ -11,10 +11,12 @@
 # A per-kernel delta table is written to $GITHUB_STEP_SUMMARY when CI
 # provides one (and always to bench-guard-summary.md next to CURRENT).
 #
-# A baseline with "provisional": true — e.g. recorded on a machine with
-# a different core count than the CI runner — reports the same table but
-# never fails; refresh it from a real CI bench artifact (see
-# EXPERIMENTS.md) to arm enforcement.
+# Enforcement is armed only when the baseline was recorded on a machine
+# shaped like this one: baseline .cores must equal current .cores.  On a
+# mismatch the same table is reported but nothing fails, with an
+# explicit note to refresh the baseline from a real CI bench artifact
+# (see EXPERIMENTS.md).  A baseline with "provisional": true is likewise
+# report-only regardless of shape.
 set -eu
 
 baseline=${1:?usage: bin/bench_guard.sh BASELINE.json CURRENT.json}
@@ -56,17 +58,30 @@ kernels "$current" | sort > "$tmpdir/cur.txt"
 
 provisional=0
 jq -e '.provisional == true' "$baseline" > /dev/null 2>&1 && provisional=1
+base_cores=$(jq -r '.cores // 0' "$baseline")
+cur_cores=$(jq -r '.cores // 0' "$current")
+cores_match=0
+[ "$base_cores" = "$cur_cores" ] && cores_match=1
 
 summary="$(dirname "$current")/bench-guard-summary.md"
 guard_rc=0
 join "$tmpdir/base.txt" "$tmpdir/cur.txt" \
-  | awk -v tol="$BENCH_TOLERANCE_PCT" -v provisional="$provisional" '
+  | awk -v tol="$BENCH_TOLERANCE_PCT" -v provisional="$provisional" \
+        -v cores_match="$cores_match" \
+        -v base_cores="$base_cores" -v cur_cores="$cur_cores" '
     BEGIN {
       print "### Bench kernel drift vs baseline (tolerance +/-" tol "%)"
       print ""
+      enforced = (!provisional && cores_match)
       if (provisional) {
-        print "> baseline is **provisional** (recorded off-runner):" \
+        print "> baseline is **provisional**:" \
               " reporting only, not enforced"
+        print ""
+      } else if (!cores_match) {
+        printf "> baseline cores (%s) != current cores (%s):" \
+               " reporting only, not enforced —" \
+               " refresh the baseline from a CI bench artifact" \
+               " (see EXPERIMENTS.md)\n", base_cores, cur_cores
         print ""
       }
       print "| kernel | baseline | current | delta | verdict |"
@@ -87,7 +102,7 @@ join "$tmpdir/base.txt" "$tmpdir/cur.txt" \
         printf "%d kernel(s) outside +/-%s%%\n", breaches, tol
       else
         print "all kernels within tolerance"
-      exit (provisional ? 0 : (breaches > 0 ? 1 : 0))
+      exit (enforced && breaches > 0 ? 1 : 0)
     }' > "$summary" || guard_rc=$?
 
 cat "$summary"

@@ -58,9 +58,9 @@ keep_artifacts() {
     mkdir -p "$CHECK_ARTIFACTS"
     cp -f "$tmpdir"/*.json "$tmpdir"/*.jsonl "$tmpdir"/*.txt \
       "$CHECK_ARTIFACTS"/ 2>/dev/null || true
-    # The bench gate drops its record in the repo root; keep it with the
-    # rest of the run's telemetry when present.
-    cp -f BENCH_5.json "$CHECK_ARTIFACTS"/ 2>/dev/null || true
+    # The bench gates drop their records in the repo root; keep them with
+    # the rest of the run's telemetry when present.
+    cp -f BENCH_5.json BENCH_6.json "$CHECK_ARTIFACTS"/ 2>/dev/null || true
   fi
 }
 trap 'keep_artifacts; rm -rf "$tmpdir"' EXIT
@@ -165,8 +165,183 @@ EOF
     || fail "retried batch differs from the uninterrupted run"
 }
 
+wait_for_socket() {
+  i=0
+  while [ ! -S "$1" ] && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.1
+  done
+  [ -S "$1" ] || fail "$2 socket never appeared"
+}
+
+run_fleet_smoke() {
+  scanatpg_bin=./_build/default/bin/scanatpg.exe
+  [ -x "$scanatpg_bin" ] || fail "missing $scanatpg_bin (dune build @all ran?)"
+  : "${CHAOS_SEED:=42}"
+
+  echo "== fleet smoke (router over 2 shards, injected shard crash) =="
+  # The armed failpoint SIGKILLs the dispatch target's shard process
+  # exactly once; the router must restart it, redeliver the lost
+  # request, and keep every client outcome typed — the crash is
+  # invisible to the client.
+  cat > "$tmpdir/fleet-requests.jsonl" <<'EOF'
+{"op":"generate","circuit":"s27","seed":7}
+{"op":"generate","circuit":"s208","seed":5}
+{"op":"table","circuit":"s27"}
+{"op":"generate","circuit":"s27","seed":9}
+{"op":"generate","circuit":"s27","seed":7}
+{"op":"table","circuit":"s27"}
+EOF
+  "$scanatpg_bin" router --socket "$tmpdir/fleet.sock" --shards 2 --quiet \
+    --chaos "seed=${CHAOS_SEED};shard=crash#1" \
+    --metrics "$tmpdir/fleet-metrics.json" &
+  router_pid=$!
+  wait_for_socket "$tmpdir/fleet.sock" "fleet router"
+  "$scanatpg_bin" batch --socket "$tmpdir/fleet.sock" \
+    "$tmpdir/fleet-requests.jsonl" -o "$tmpdir/fleet-responses.jsonl" \
+    2> /dev/null || fail "batch through the router"
+  kill -0 "$router_pid" 2> /dev/null \
+    || fail "router died during the fleet smoke"
+  jq -es 'length == 6 and all(.[]; .status == "ok")' \
+    "$tmpdir/fleet-responses.jsonl" > /dev/null \
+    || fail "a routed request did not end in a typed ok outcome"
+
+  # Open-loop load harness, two rates: a sustainable one (no losses) and
+  # a deliberate overload — admission control must still hand every
+  # arrival a typed response (lost == 0), it just types the excess as
+  # overloaded.  Both reports are kept as CI artifacts.
+  printf '%s\n' '{"op":"generate","circuit":"s27","seed":7}' \
+    '{"op":"table","circuit":"s27"}' > "$tmpdir/fleet-templates.jsonl"
+  "$scanatpg_bin" batch --socket "$tmpdir/fleet.sock" \
+    --rate 20 --duration 2 --seed "$CHAOS_SEED" \
+    --report "$tmpdir/fleet-load-report.json" \
+    "$tmpdir/fleet-templates.jsonl" 2> /dev/null \
+    || fail "load harness at 20 rps"
+  jq -e '.schema == "scanatpg-load/1" and .lost == 0 and .completed >= 1' \
+    "$tmpdir/fleet-load-report.json" > /dev/null \
+    || fail "load-harness report not well-formed (or lost requests)"
+  "$scanatpg_bin" batch --socket "$tmpdir/fleet.sock" \
+    --rate 300 --duration 1 --seed "$CHAOS_SEED" \
+    --report "$tmpdir/fleet-overload-report.json" \
+    "$tmpdir/fleet-templates.jsonl" 2> /dev/null \
+    || fail "load harness at 300 rps (overload)"
+  jq -e '.lost == 0' "$tmpdir/fleet-overload-report.json" > /dev/null \
+    || fail "overload dropped a request without a typed response"
+
+  # Fleet-wide top: aggregate line plus one row per target.
+  "$scanatpg_bin" top --socket "$tmpdir/fleet.sock" \
+    --socket "$tmpdir/fleet.sock.shard0" \
+    --socket "$tmpdir/fleet.sock.shard1" \
+    --count 1 > "$tmpdir/fleet-top.txt" 2> /dev/null \
+    || fail "fleet-wide top"
+  grep -q '^fleet ' "$tmpdir/fleet-top.txt" \
+    || fail "top did not render the aggregate fleet line"
+  [ "$(wc -l < "$tmpdir/fleet-top.txt")" -eq 4 ] \
+    || fail "top did not render one row per target"
+
+  # Clean fanned-out drain: SIGTERM must collect both shard processes,
+  # unlink every socket, and exit 0.
+  kill -TERM "$router_pid"
+  wait "$router_pid" || fail "router exited non-zero after SIGTERM"
+  [ ! -S "$tmpdir/fleet.sock" ] || fail "router socket not unlinked"
+  [ ! -S "$tmpdir/fleet.sock.shard0" ] && [ ! -S "$tmpdir/fleet.sock.shard1" ] \
+    || fail "shard sockets not unlinked after the fanned-out drain"
+  jq -e '.counters["router.shard_kills"] >= 1
+         and .counters["router.shard_restarts"] >= 1' \
+    "$tmpdir/fleet-metrics.json" > /dev/null \
+    || fail "injected shard crash never fired (or no restart)"
+  pgrep -f "scanatpg.exe serve --socket $tmpdir/fleet.sock" > /dev/null 2>&1 \
+    && fail "a shard process outlived the router" || true
+}
+
+run_fleet_soak() {
+  scanatpg_bin=./_build/default/bin/scanatpg.exe
+  : "${CHAOS_SEED:=42}"
+  : "${FLEET_REQUESTS:=60}"
+
+  echo "== fleet chaos soak (seed $CHAOS_SEED, $FLEET_REQUESTS requests) =="
+  # Router over 2 shards with random shard kills and client-write faults
+  # armed.  A retrying batch drives a two-circuit mix (s27 and s208 hash
+  # to different shards, so both supervision paths see traffic).  The
+  # contract mirrors the daemon soak: the router never dies, every
+  # request ends in exactly one typed outcome, SIGTERM drains to 0.
+  : > "$tmpdir/fsoak-requests.jsonl"
+  i=0
+  while [ "$i" -lt "$FLEET_REQUESTS" ]; do
+    i=$((i + 1))
+    case $((i % 3)) in
+      0) printf '{"op":"generate","circuit":"s208","seed":%d}\n' "$i" ;;
+      1) printf '{"op":"generate","circuit":"s27","seed":%d}\n' "$i" ;;
+      2) printf '{"op":"table","circuit":"s27"}\n' ;;
+    esac >> "$tmpdir/fsoak-requests.jsonl"
+  done
+  "$scanatpg_bin" router --socket "$tmpdir/fsoak.sock" --shards 2 --quiet \
+    --chaos "seed=${CHAOS_SEED};shard=crash@0.05;writer=error@0.02" \
+    --metrics "$tmpdir/fsoak-metrics.json" &
+  router_pid=$!
+  wait_for_socket "$tmpdir/fsoak.sock" "fleet soak router"
+  rc=0
+  "$scanatpg_bin" batch --socket "$tmpdir/fsoak.sock" \
+    --retries 6 --backoff-ms 50 \
+    "$tmpdir/fsoak-requests.jsonl" -o "$tmpdir/fsoak-responses.jsonl" \
+    2> /dev/null || rc=$?
+  [ "$rc" -eq 0 ] || [ "$rc" -eq 1 ] || [ "$rc" -eq 3 ] \
+    || fail "fleet soak batch exited $rc (expected 0, 1 or 3)"
+  kill -0 "$router_pid" 2> /dev/null \
+    || fail "router died during the fleet soak"
+  jq -es --argjson n "$FLEET_REQUESTS" \
+    'length == $n and all(.[];
+       .status == "ok" or .status == "degraded" or .status == "error"
+       or .status == "overloaded" or .status == "internal_error")' \
+    "$tmpdir/fsoak-responses.jsonl" > /dev/null \
+    || fail "not every routed request ended in exactly one typed outcome"
+  kill -TERM "$router_pid"
+  wait "$router_pid" || fail "router exited non-zero after the soak SIGTERM"
+  jq -e '.counters["router.shard_kills"] >= 1' \
+    "$tmpdir/fsoak-metrics.json" > /dev/null \
+    || fail "fleet soak injected no shard kills"
+
+  echo "== routed retry byte-identity (mid-stream shard restart) =="
+  # Satellite of the retried-vs-clean diff: same requests, but through a
+  # router whose shard dies mid-stream AND whose first client write is
+  # faulted.  The batch client reconnects to the ROUTER (the only
+  # address it knows), replays the unanswered tail, and the bytes must
+  # match a clean routed run — and the clean routed run must match the
+  # clean direct-daemon run, proving the router is a transparent proxy.
+  run_retry_router() {
+    sock=$1; out=$2; chaos_opt=$3; retry_opts=$4
+    if [ -n "$chaos_opt" ]; then
+      "$scanatpg_bin" router --socket "$sock" --shards 2 --quiet \
+        --chaos "$chaos_opt" &
+    else
+      "$scanatpg_bin" router --socket "$sock" --shards 2 --quiet &
+    fi
+    pid=$!
+    wait_for_socket "$sock" "retry router"
+    # shellcheck disable=SC2086
+    "$scanatpg_bin" batch --socket "$sock" $retry_opts \
+      "$tmpdir/retry-requests.jsonl" -o "$out" 2> /dev/null \
+      || fail "retry batch against routed $sock"
+    kill -TERM "$pid"
+    wait "$pid" || fail "retry router exited non-zero"
+  }
+  run_retry_router "$tmpdir/clean-routed.sock" \
+    "$tmpdir/clean-routed-responses.jsonl" "" ""
+  run_retry_router "$tmpdir/faulty-routed.sock" \
+    "$tmpdir/retried-routed-responses.jsonl" \
+    "seed=${CHAOS_SEED};shard=crash#1;writer=error#1" \
+    "--retries 4 --backoff-ms 50"
+  diff "$tmpdir/clean-routed-responses.jsonl" \
+    "$tmpdir/retried-routed-responses.jsonl" \
+    || fail "routed retried batch differs from the clean routed run"
+  diff "$tmpdir/clean-responses.jsonl" \
+    "$tmpdir/clean-routed-responses.jsonl" \
+    || fail "routed responses differ from the direct-daemon run"
+}
+
 if [ "$chaos" -eq 1 ] && [ "$quick" -eq 0 ]; then
   run_chaos_soak
+  run_fleet_smoke
+  run_fleet_soak
   echo "check: OK (chaos)"
   exit 0
 fi
@@ -403,5 +578,7 @@ jq -es 'any(.[]; .op == "generate" and has("spans") and has("trace_id")
             and has("queue_wait_ns") and has("service_ns"))' \
   "$tmpdir/obs-access.jsonl" > /dev/null \
   || fail "slow request did not log an enriched line with its span tree"
+
+run_fleet_smoke
 
 echo "check: OK"

@@ -828,6 +828,130 @@ let serve_cmd =
       $ metrics_arg $ trace_arg $ trace_format_arg $ slow_arg $ idle_arg
       $ read_deadline_arg $ max_inflight_arg $ chaos_arg $ quiet_arg)
 
+(* -------------------------------------------------------------- router *)
+
+let router_cmd =
+  let shards_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Backend daemons to spawn and route across. Shard choice \
+                hashes the request's circuit content, so a circuit's \
+                requests pin to one shard and keep its compiled-circuit \
+                cache hot.")
+  in
+  let result_cache_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "result-cache" ] ~docv:"N"
+          ~doc:"Response payloads memoized by request content, evicted \
+                least-recently-used. Valid by the determinism contract: a \
+                cached response is byte-identical to a computed one. 0 \
+                disables.")
+  in
+  let shard_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "server-jobs" ] ~docv:"N"
+          ~doc:"Worker domains per shard (passed through to each shard's \
+                $(b,serve)).")
+  in
+  let trial_pool_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "trial-pool" ] ~docv:"N"
+          ~doc:"Per-shard speculative-trial pool size (passed through).")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Per-shard compiled-circuit LRU capacity (passed through).")
+  in
+  let grace_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "drain-grace" ] ~docv:"SECONDS"
+          ~doc:"On shutdown, let routed requests run down for $(docv) \
+                seconds before answering the stragglers with typed errors \
+                and fanning the shutdown out to the shards.")
+  in
+  let chaos_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:"Arm the router's fault-injection sites, e.g. \
+                $(b,seed=42;shard=crash#1;writer=error\\@0.02). Site \
+                $(b,shard) kills the dispatch target's process; \
+                $(b,writer) faults a client response write. Reconfigure at \
+                runtime with the $(b,chaos) op.")
+  in
+  let shard_chaos_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "shard-chaos" ] ~docv:"SPEC"
+          ~doc:"Failpoint spec passed to every shard's $(b,serve --chaos) \
+                (daemon sites: accept, queue, worker, cache.compile, \
+                writer).")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ] ~doc:"Suppress lifecycle messages on stderr.")
+  in
+  let run socket tcp shards result_cache jobs trial_pool cache_capacity grace
+      chaos shard_chaos metrics_path quiet =
+    let addr = parse_addr socket tcp in
+    (* Each shard is this very binary re-exec'ed as `serve` on its own
+       socket, so the router supervises real OS processes and an injected
+       shard crash is a genuine SIGKILL. *)
+    let exe = Sys.executable_name in
+    let argv_of _idx shard_socket =
+      let base =
+        [ exe; "serve"; "--socket"; shard_socket; "--quiet";
+          "--server-jobs"; string_of_int jobs;
+          "--trial-pool"; string_of_int trial_pool;
+          "--cache-capacity"; string_of_int cache_capacity ]
+      in
+      let argv =
+        match shard_chaos with
+        | None -> base
+        | Some spec -> base @ [ "--chaos"; spec ]
+      in
+      Array.of_list argv
+    in
+    let cfg =
+      Fleet.Router.default_config addr ~shards
+        ~launcher:(Fleet.Shard.Exec argv_of)
+    in
+    Fleet.Router.run
+      {
+        cfg with
+        Fleet.Router.result_cache_capacity = result_cache;
+        drain_grace_s = grace;
+        chaos;
+        metrics_path;
+        verbose = not quiet;
+      }
+  in
+  let exits =
+    Cmd.Exit.info 0
+      ~doc:"after a clean drain: shards shut down and collected."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "router" ~exits
+       ~doc:"Run a sharding front end: spawn and supervise $(b,--shards) \
+             backend daemons, route each request to a shard by hashing its \
+             circuit content, and answer repeated requests from a \
+             content-addressed result cache (DESIGN.md \xc2\xa715). Speaks \
+             the same wire protocol as $(b,serve), so $(b,batch), \
+             $(b,stats) and $(b,top) point at it unchanged.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ shards_arg $ result_cache_arg
+      $ shard_jobs_arg $ trial_pool_arg $ cache_arg $ grace_arg $ chaos_arg
+      $ shard_chaos_arg $ metrics_arg $ quiet_arg)
+
 (* --------------------------------------------------------------- batch *)
 
 let batch_cmd =
@@ -856,21 +980,83 @@ let batch_cmd =
           ~doc:"Base delay before the first retry, doubling per attempt \
                 with deterministic jitter.")
   in
-  let run socket tcp input out retries backoff_ms =
-    let outcomes =
-      Server.Client.run_batch ~addr:(parse_addr socket tcp) ~input
-        ?output:out ~retries ~backoff_ms ()
+  let rate_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:"Load-harness mode: replay the input as request templates \
+                at an open-loop $(docv) arrivals per second for \
+                $(b,--duration) seconds, and report latency percentiles \
+                instead of writing responses. The sender never waits on \
+                the server, so overload shows up in the measured tail.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Length of the load-harness schedule (with $(b,--rate)).")
+  in
+  let load_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seed for the deterministic template-per-arrival draw (with \
+                $(b,--rate)); the same seed replays the same mix.")
+  in
+  let report_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Write the load-harness report (schema \
+                $(b,scanatpg-load/1)) as JSON to $(docv).")
+  in
+  let read_templates input =
+    let ic =
+      try open_in input
+      with Sys_error msg -> failwith (Printf.sprintf "scanatpg batch: %s" msg)
     in
-    let count s =
-      List.length
-        (List.filter (fun o -> o.Server.Client.status = s) outcomes)
-    in
-    let total = List.length outcomes in
-    let ok = count "ok" and degraded = count "degraded" in
-    let failed = total - ok - degraded in
-    Printf.eprintf "scanatpg batch: %d request(s): %d ok, %d degraded, %d failed\n%!"
-      total ok degraded failed;
-    if failed > 0 then 1 else if degraded > 0 then 3 else 0
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line ->
+            go (if String.trim line = "" then acc else line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  let run socket tcp input out retries backoff_ms rate duration seed report =
+    let addr = parse_addr socket tcp in
+    match rate with
+    | Some rate ->
+      let r =
+        Fleet.Loadgen.run ~addr ~templates:(read_templates input) ~rate
+          ~duration_s:duration ~seed ()
+      in
+      Fleet.Loadgen.print_report r;
+      (match report with
+      | None -> ()
+      | Some path ->
+        Obs.Fileio.write_string path
+          (Obs.Json.to_string (Fleet.Loadgen.report_json r) ^ "\n"));
+      if r.Fleet.Loadgen.lost > 0 then 1 else 0
+    | None ->
+      let outcomes =
+        Server.Client.run_batch ~addr ~input ?output:out ~retries ~backoff_ms
+          ()
+      in
+      let count s =
+        List.length
+          (List.filter (fun o -> o.Server.Client.status = s) outcomes)
+      in
+      let total = List.length outcomes in
+      let ok = count "ok" and degraded = count "degraded" in
+      let failed = total - ok - degraded in
+      Printf.eprintf
+        "scanatpg batch: %d request(s): %d ok, %d degraded, %d failed\n%!"
+        total ok degraded failed;
+      if failed > 0 then 1 else if degraded > 0 then 3 else 0
   in
   let exits =
     Cmd.Exit.info 3 ~doc:"every response arrived but some were degraded."
@@ -879,10 +1065,12 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch" ~exits
        ~doc:"Pipeline a JSONL file of requests to a running daemon, collect \
-             the responses by id, and write them in request order.")
+             the responses by id, and write them in request order; or, with \
+             $(b,--rate), replay the file as an open-loop load schedule and \
+             report latency percentiles.")
     Term.(
       const run $ socket_arg $ tcp_arg $ input_arg $ out_arg $ retries_arg
-      $ backoff_arg)
+      $ backoff_arg $ rate_arg $ duration_arg $ load_seed_arg $ report_arg)
 
 (* --------------------------------------------------------------- stats *)
 
@@ -990,48 +1178,192 @@ let top_cmd =
       cache
       (counter j "server.accepted")
   in
-  let run socket tcp interval count =
-    let conn = Server.Client.connect (parse_addr socket tcp) in
-    let tty = Unix.isatty Unix.stdout in
-    Fun.protect
-      ~finally:(fun () -> Server.Client.close conn)
-      (fun () ->
-        let rec loop i prev =
-          match fetch_stats conn ~prom:false with
-          | exception (Failure _ | Unix.Unix_error _) ->
-            (* The daemon drained mid-watch: not an error for a monitor. *)
-            if tty then print_newline ();
-            Printf.eprintf "scanatpg top: daemon went away\n";
-            0
-          | resp ->
-            let j = Obs.Json.parse resp in
-            let now = Unix.gettimeofday () in
-            let accepted = counter j "server.accepted" in
-            let rps =
-              match prev with
-              | Some (pa, pt) when now > pt ->
-                float_of_int (accepted - pa) /. (now -. pt)
-              | _ -> 0.0
-            in
-            if tty then Printf.printf "\r\027[2K%s%!" (render j ~rps)
-            else Printf.printf "%s\n%!" (render j ~rps);
-            if count > 0 && i + 1 >= count then begin
-              if tty then print_newline ();
-              0
-            end
-            else begin
-              Unix.sleepf interval;
-              loop (i + 1) (Some (accepted, now))
-            end
+  let single_loop conn interval count tty =
+    let rec loop i prev =
+      match fetch_stats conn ~prom:false with
+      | exception (Failure _ | Unix.Unix_error _) ->
+        (* The daemon drained mid-watch: not an error for a monitor. *)
+        if tty then print_newline ();
+        Printf.eprintf "scanatpg top: daemon went away\n";
+        0
+      | resp ->
+        let j = Obs.Json.parse resp in
+        let now = Unix.gettimeofday () in
+        let accepted = counter j "server.accepted" in
+        let rps =
+          match prev with
+          | Some (pa, pt) when now > pt ->
+            float_of_int (accepted - pa) /. (now -. pt)
+          | _ -> 0.0
         in
-        loop 0 None)
+        if tty then Printf.printf "\r\027[2K%s%!" (render j ~rps)
+        else Printf.printf "%s\n%!" (render j ~rps);
+        if count > 0 && i + 1 >= count then begin
+          if tty then print_newline ();
+          0
+        end
+        else begin
+          Unix.sleepf interval;
+          loop (i + 1) (Some (accepted, now))
+        end
+    in
+    loop 0 None
+  in
+  (* Fleet mode (several --socket targets, e.g. a router plus its
+     shards): one aggregate line — rps summed across targets, p99 the
+     worst target's — then a row per target.  A target that is down
+     (shard mid-restart) renders as such and is retried next poll
+     instead of ending the watch. *)
+  let multi_loop addrs interval count tty =
+    let label = function
+      | Server.Daemon.Unix_sock p -> p
+      | Server.Daemon.Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+    in
+    let width =
+      List.fold_left (fun w a -> max w (String.length (label a))) 0 addrs
+    in
+    let targets =
+      Array.of_list
+        (List.map (fun a -> a, ref None, ref None (* conn, prev *)) addrs)
+    in
+    let poll (addr, conn, _) =
+      (match !conn with
+      | None -> (
+        try conn := Some (Server.Client.connect addr) with _ -> ())
+      | Some _ -> ());
+      match !conn with
+      | None -> None
+      | Some c -> (
+        match fetch_stats c ~prom:false with
+        | exception _ ->
+          (try Server.Client.close c with _ -> ());
+          conn := None;
+          None
+        | resp -> ( try Some (Obs.Json.parse resp) with _ -> None))
+    in
+    let finally () =
+      Array.iter
+        (fun (_, conn, _) ->
+          match !conn with
+          | Some c -> ( try Server.Client.close c with _ -> ())
+          | None -> ())
+        targets
+    in
+    Fun.protect ~finally (fun () ->
+        let nlines = Array.length targets + 1 in
+        let rec loop i first =
+          let now = Unix.gettimeofday () in
+          let rows =
+            Array.map
+              (fun ((addr, _, prev) as t) ->
+                match poll t with
+                | None ->
+                  prev := None;
+                  label addr, None, 0.0
+                | Some j ->
+                  let accepted = counter j "server.accepted" in
+                  let rps =
+                    match !prev with
+                    | Some (pa, pt) when now > pt ->
+                      float_of_int (accepted - pa) /. (now -. pt)
+                    | _ -> 0.0
+                  in
+                  prev := Some (accepted, now);
+                  label addr, Some j, rps)
+              targets
+          in
+          let up = ref 0
+          and rps_sum = ref 0.0
+          and inflight = ref 0
+          and p99_max = ref 0
+          and hit = ref 0
+          and miss = ref 0
+          and rhit = ref 0
+          and rmiss = ref 0 in
+          Array.iter
+            (fun (_, j, rps) ->
+              match j with
+              | None -> ()
+              | Some j ->
+                incr up;
+                rps_sum := !rps_sum +. rps;
+                inflight := !inflight + counter j "server.inflight";
+                p99_max := max !p99_max (pct j "server.e2e_ns" "p99");
+                hit := !hit + counter j "server.cache_hit";
+                miss := !miss + counter j "server.cache_miss";
+                rhit := !rhit + counter j "server.result_hit";
+                rmiss := !rmiss + counter j "server.result_miss")
+            rows;
+          let ratio h m =
+            if h + m = 0 then "-"
+            else
+              Printf.sprintf "%.1f%%"
+                (100. *. float_of_int h /. float_of_int (h + m))
+          in
+          let agg =
+            Printf.sprintf
+              "%-*s rps %6.1f | inflight %d | worst p99 %s | cache %s | \
+               results %s | up %d/%d"
+              width "fleet" !rps_sum !inflight (ms !p99_max)
+              (ratio !hit !miss) (ratio !rhit !rmiss) !up
+              (Array.length targets)
+          in
+          if tty && not first then Printf.printf "\027[%dA" nlines;
+          let put line =
+            if tty then Printf.printf "\r\027[2K%s\n" line
+            else Printf.printf "%s\n" line
+          in
+          put agg;
+          Array.iter
+            (fun (lbl, j, rps) ->
+              match j with
+              | None -> put (Printf.sprintf "%-*s down" width lbl)
+              | Some j ->
+                put (Printf.sprintf "%-*s %s" width lbl (render j ~rps)))
+            rows;
+          print_string "";
+          flush stdout;
+          if count > 0 && i + 1 >= count then 0
+          else begin
+            Unix.sleepf interval;
+            loop (i + 1) false
+          end
+        in
+        loop 0 true)
+  in
+  let run sockets tcp interval count =
+    let addrs =
+      let socks =
+        if sockets = [] && tcp = None then [ "scanatpg.sock" ] else sockets
+      in
+      List.map (fun s -> Server.Daemon.Unix_sock s) socks
+      @ (match tcp with None -> [] | Some _ -> [ parse_addr "" tcp ])
+    in
+    let tty = Unix.isatty Unix.stdout in
+    match addrs with
+    | [ addr ] ->
+      let conn = Server.Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close conn)
+        (fun () -> single_loop conn interval count tty)
+    | addrs -> multi_loop addrs interval count tty
+  in
+  let sockets_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket to watch; repeat to watch a fleet (a \
+                router and/or its shards) with an aggregate line plus a \
+                per-target row.")
   in
   Cmd.v
     (Cmd.info "top"
-       ~doc:"Watch a running daemon: requests per second, in-flight count, \
-             queue-wait and end-to-end latency percentiles, cache hit \
-             rate — refreshed every $(b,--interval) seconds.")
-    Term.(const run $ socket_arg $ tcp_arg $ interval_arg $ count_arg)
+       ~doc:"Watch one or more running daemons: requests per second, \
+             in-flight count, queue-wait and end-to-end latency \
+             percentiles, cache hit rate — refreshed every \
+             $(b,--interval) seconds. Several $(b,--socket) targets \
+             aggregate into a fleet-wide line plus per-shard rows.")
+    Term.(const run $ sockets_arg $ tcp_arg $ interval_arg $ count_arg)
 
 (* ---------------------------------------------------------------- main *)
 
@@ -1056,8 +1388,8 @@ let () =
         (Cmd.group
            (Cmd.info "scanatpg" ~version:"1.0.0" ~doc ~exits)
            [ info_cmd; export_cmd; generate_cmd; compact_cmd; table_cmd;
-             run_cmd; diagnose_cmd; serve_cmd; batch_cmd; stats_cmd;
-             top_cmd ])
+             run_cmd; diagnose_cmd; serve_cmd; router_cmd; batch_cmd;
+             stats_cmd; top_cmd ])
     with
     | Netlist.Bench_format.Parse_error { line; col; token; message } ->
       Printf.eprintf "scanatpg: parse error at line %d, column %d (%S): %s\n"

@@ -1,0 +1,98 @@
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+}
+
+type entry = {
+  key : string;
+  suffix : string;
+}
+
+type t = {
+  capacity : int;
+  mutable entries : entry list;  (* most recently used first *)
+  mutable length : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  {
+    capacity = max 1 capacity;
+    entries = [];
+    length = 0;
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+let length t = t.length
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    insertions = t.insertions;
+    evictions = t.evictions;
+  }
+
+(* Responses are rendered with the [id] field first ([Service.execute]
+   and [Protocol.error_response] both emit it in position one), so a
+   cached payload can be stored id-free and re-addressed to any caller
+   by splicing a new id into the fixed prefix.  A payload that does not
+   match the shape is simply not cacheable — correctness never depends
+   on the splice. *)
+let id_prefix = "{\"id\":"
+
+let split_id payload =
+  let plen = String.length id_prefix in
+  let n = String.length payload in
+  if n <= plen || not (String.starts_with ~prefix:id_prefix payload) then None
+  else begin
+    let i = ref plen in
+    if !i < n && payload.[!i] = '-' then incr i;
+    let digits0 = !i in
+    while !i < n && payload.[!i] >= '0' && payload.[!i] <= '9' do
+      incr i
+    done;
+    if !i = digits0 then None
+    else
+      let id = int_of_string (String.sub payload plen (!i - plen)) in
+      Some (id, String.sub payload !i (n - !i))
+  end
+
+let splice_id ~id suffix = Printf.sprintf "%s%d%s" id_prefix id suffix
+
+let find t ~key =
+  match List.find_opt (fun e -> e.key = key) t.entries with
+  | Some e ->
+    t.entries <- e :: List.filter (fun e' -> e' != e) t.entries;
+    t.hits <- t.hits + 1;
+    Some e.suffix
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let add t ~key ~suffix =
+  match List.find_opt (fun e -> e.key = key) t.entries with
+  | Some _ -> ()  (* a concurrent miss already filled it; keep the first *)
+  | None ->
+    let e = { key; suffix } in
+    let kept, dropped =
+      if t.length >= t.capacity then
+        ( List.filteri (fun i _ -> i < t.capacity - 1) t.entries,
+          t.length - (t.capacity - 1) )
+      else t.entries, 0
+    in
+    t.entries <- e :: kept;
+    t.length <- t.length - dropped + 1;
+    t.insertions <- t.insertions + 1;
+    t.evictions <- t.evictions + dropped
+
+let mem t ~key = List.exists (fun e -> e.key = key) t.entries

@@ -283,6 +283,61 @@ let request_of_string payload =
   in
   { id; op }
 
+(* ----------------------------------------------- canonical rendering *)
+
+(* Re-render a parsed request as the canonical wire form: [id] first,
+   [op] second, every compute field explicit (parser defaults applied),
+   object keys in a fixed order.  The rendering round-trips:
+   [request_of_string (canonical_of_request r)] parses to [r] (with the
+   given id), which is what lets the router forward the canonical form
+   to a shard in place of the client's original bytes.
+
+   [drop_jobs] omits [sim_jobs]/[compact_jobs] — the two knobs the PR 5
+   purity contract proves payload-invisible — so two requests differing
+   only in parallelism share one result-cache key. *)
+let compute_fields ?(drop_jobs = false) (c : compute) =
+  (match c.src with
+   | Catalog name -> [ "circuit", Json.Str name ]
+   | Bench text -> [ "bench", Json.Str text ])
+  @ [
+      ( "scale",
+        Json.Str
+          (match c.scale with
+           | Circuits.Profiles.Quick -> "quick"
+           | Circuits.Profiles.Full -> "full") );
+      "seed", Json.Int (Int64.to_int c.seed);
+      "chains", Json.Int c.chains;
+    ]
+  @ (if drop_jobs then []
+     else
+       [ "sim_jobs", Json.Int c.sim_jobs;
+         "compact_jobs", Json.Int c.compact_jobs ])
+  @ (match c.deadline_s with
+     | None -> []
+     | Some d -> [ "deadline_s", Json.Float d ])
+  @ (match c.max_backtracks with
+     | None -> []
+     | Some n -> [ "max_backtracks", Json.Int n ])
+
+let canonical_of_request ?(id = 0) ?drop_jobs (req : request) =
+  let base = [ "id", Json.Int id; "op", Json.Str (op_name req.op) ] in
+  let rest =
+    match req.op with
+    | Ping | Shutdown -> []
+    | Stats { prom } ->
+      [ "format", Json.Str (if prom then "prometheus" else "json") ]
+    | Chaos { spec } -> (
+      match spec with None -> [] | Some s -> [ "spec", Json.Str s ])
+    | Generate { c; compact; return_sequence } ->
+      compute_fields ?drop_jobs c
+      @ [ "compact", Json.Bool compact; "sequence", Json.Bool return_sequence ]
+    | Compact { c; sequence } ->
+      compute_fields ?drop_jobs c
+      @ [ "vectors", Json.Arr (List.map (fun v -> Json.Str v) sequence) ]
+    | Table { c } -> compute_fields ?drop_jobs c
+  in
+  Json.to_string (Json.Obj (base @ rest))
+
 (* ---------------------------------------------------------- responses *)
 
 let error_response ~id kind message =

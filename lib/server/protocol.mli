@@ -105,6 +105,21 @@ val op_name : op -> string
     @raise Bad_request on JSON errors, unknown ops or missing fields. *)
 val request_of_string : string -> request
 
+(** [canonical_of_request ?id ?drop_jobs req] re-renders a parsed
+    request in the canonical wire form: [id] first, [op] second, every
+    compute field explicit with the parser's defaults applied, keys in a
+    fixed order.  The rendering round-trips —
+    [request_of_string (canonical_of_request ~id req)] parses back to
+    [req] under [id] — so a router may forward the canonical form to a
+    backend in place of the client's original bytes.
+
+    [drop_jobs] additionally omits [sim_jobs]/[compact_jobs], the two
+    knobs the determinism contract (DESIGN.md §11) proves
+    payload-invisible; with it the rendering is a valid content-address
+    for whole-response memoization: requests differing only in
+    parallelism share one key. *)
+val canonical_of_request : ?id:int -> ?drop_jobs:bool -> request -> string
+
 (** {1 Responses} *)
 
 (** [error_response ~id kind message] renders the typed error payload
